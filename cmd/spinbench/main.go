@@ -1,0 +1,81 @@
+// Command spinbench regenerates the tables and figures of the sPIN paper's
+// evaluation (§4.4, §5). Each experiment rebuilds the corresponding
+// simulated system and prints the series the paper plots.
+//
+// Usage:
+//
+//	spinbench                  # run everything at full resolution
+//	spinbench -exp fig3b       # one experiment
+//	spinbench -scale 4         # subsample sweeps for a quick look
+//	spinbench -csv             # machine-readable output
+//	spinbench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(scale int) (*bench.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig3b", "ping-pong, integrated NIC", bench.Fig3b},
+		{"fig3c", "ping-pong, discrete NIC", bench.Fig3c},
+		{"fig3d", "remote accumulate, both NICs", bench.Fig3d},
+		{"fig4", "HPUs needed for line rate (model)", func(int) (*bench.Table, error) { return bench.Fig4(), nil }},
+		{"fig5a", "binomial broadcast, discrete NIC", bench.Fig5a},
+		{"table5c", "application speedups from offloaded matching", bench.Table5c},
+		{"fig7a", "strided datatype receive", bench.Fig7a},
+		{"fig7c", "distributed RAID-5 update", bench.Fig7c},
+		{"spc", "SPC storage trace replay on RAID-5", func(int) (*bench.Table, error) { return bench.SPCTraces() }},
+		{"noise", "ablation: OS-noise sensitivity", func(int) (*bench.Table, error) { return bench.AblationNoise() }},
+		{"bcast-store", "ablation: store-and-forward vs streaming", func(int) (*bench.Table, error) { return bench.AblationBcastStore() }},
+		{"trees", "ablation: binomial vs pipeline broadcast", func(int) (*bench.Table, error) { return bench.AblationTrees() }},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list)")
+	scale := flag.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-12s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		tab, err := e.run(*scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			tab.CSV(os.Stdout)
+		} else {
+			tab.Fprint(os.Stdout)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "spinbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}

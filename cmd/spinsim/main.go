@@ -1,0 +1,76 @@
+// Command spinsim runs a single microbenchmark scenario with explicit
+// parameters and prints the simulated result — a quick way to explore the
+// model outside the fixed paper sweeps of spinbench.
+//
+// Usage:
+//
+//	spinsim -scenario pingpong -variant spin-stream -size 65536 -nic dis
+//	spinsim -scenario accumulate -size 262144
+//	spinsim -scenario bcast -ranks 256 -variant p4 -size 8
+//	spinsim -scenario ddt -blocksize 256
+//	spinsim -scenario raid -size 16384 -variant rdma
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func main() {
+	scenario := flag.String("scenario", "pingpong", "pingpong | accumulate | bcast | ddt | raid")
+	variant := flag.String("variant", "spin-stream", "rdma | p4 | spin-store | spin-stream")
+	nic := flag.String("nic", "int", "int | dis")
+	size := flag.Int("size", 8192, "message/transfer size in bytes")
+	blocksize := flag.Int("blocksize", 1024, "datatype blocksize (ddt)")
+	ranks := flag.Int("ranks", 64, "process count (bcast)")
+	flag.Parse()
+
+	p := netsim.Integrated()
+	if *nic == "dis" {
+		p = netsim.Discrete()
+	}
+	variants := map[string]bench.Variant{
+		"rdma": bench.RDMA, "p4": bench.P4,
+		"spin-store": bench.SpinStore, "spin-stream": bench.SpinStream,
+	}
+	v, ok := variants[*variant]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spinsim: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	var d sim.Time
+	var err error
+	var what string
+	switch *scenario {
+	case "pingpong":
+		d, err = bench.PingPongHalfRTT(p, v, *size, noise.None())
+		what = fmt.Sprintf("half round-trip of %d B (%v)", *size, v)
+	case "accumulate":
+		d, err = bench.AccumulateTime(p, v == bench.SpinStore || v == bench.SpinStream, *size)
+		what = fmt.Sprintf("accumulate of %d B", *size)
+	case "bcast":
+		d, err = bench.BroadcastTime(p, v, *ranks, *size)
+		what = fmt.Sprintf("broadcast of %d B to %d ranks (%v)", *size, *ranks, v)
+	case "ddt":
+		d, err = bench.StridedReceiveTime(p, v == bench.SpinStore || v == bench.SpinStream, *blocksize)
+		what = fmt.Sprintf("strided receive of 4 MiB, blocksize %d (sPIN=%v)", *blocksize, v != bench.RDMA && v != bench.P4)
+	case "raid":
+		d, err = bench.RaidUpdateTime(p, v == bench.SpinStore || v == bench.SpinStream, *size)
+		what = fmt.Sprintf("RAID-5 update of %d B", *size)
+	default:
+		fmt.Fprintf(os.Stderr, "spinsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spinsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s NIC, %s: %v\n", p.DMA.Name, what, d)
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go implementation of sPIN — streaming
+// Processing In the Network (Hoefler, Di Girolamo, Taranov, Grant,
+// Brightwell; SC'17) — together with the complete simulation substrate its
+// evaluation requires.
+//
+// The public API lives in package repro/spin; the evaluation harness that
+// regenerates every table and figure of the paper is bench_test.go in this
+// directory plus cmd/spinbench. See README.md for a tour, DESIGN.md for the
+// system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

@@ -1,0 +1,167 @@
+// Package apps generates synthetic communication workloads standing in for
+// the paper's traced applications (Table 5c): MILC (4-D lattice QCD), POP
+// (2-D ocean model), coMD (3-D molecular dynamics), and Cloverleaf (2-D
+// hydrodynamics). Real traces are proprietary/unavailable, so each
+// generator reproduces the property Table 5c depends on: the process
+// count, the Cartesian halo-exchange pattern, the message-size mix, and a
+// compute:communication ratio calibrated to the paper's reported
+// point-to-point fractions (see DESIGN.md §1).
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+	"repro/internal/sim"
+)
+
+// App describes one synthetic application.
+type App struct {
+	Name  string
+	Ranks int
+	// Dims is the Cartesian decomposition; len(Dims) is the stencil
+	// dimensionality; the product must equal Ranks.
+	Dims []int
+	// HaloBytes is the face-exchange message size per dimension.
+	HaloBytes []int
+	// TargetP2PFraction is the paper's reported share of runtime spent
+	// in point-to-point communication; compute time is calibrated to it.
+	TargetP2PFraction float64
+	// PaperSpeedup is the paper's reported full-app improvement from
+	// offloaded matching (for the comparison column).
+	PaperSpeedup float64
+	// PaperMessages is the message count of the paper's full-length
+	// trace (ours are shorter; see Iterations).
+	PaperMessages uint64
+}
+
+// Suite returns the Table 5c applications.
+func Suite() []App {
+	return []App{
+		{
+			Name: "MILC", Ranks: 64, Dims: []int{2, 2, 4, 4},
+			HaloBytes:         []int{16384, 16384, 16384, 16384},
+			TargetP2PFraction: 0.055, PaperSpeedup: 0.036, PaperMessages: 5743212,
+		},
+		{
+			Name: "POP", Ranks: 64, Dims: []int{8, 8},
+			HaloBytes:         []int{2048, 2048},
+			TargetP2PFraction: 0.031, PaperSpeedup: 0.007, PaperMessages: 772063149,
+		},
+		{
+			Name: "coMD", Ranks: 72, Dims: []int{3, 4, 6},
+			HaloBytes:         []int{12288, 12288, 12288},
+			TargetP2PFraction: 0.061, PaperSpeedup: 0.037, PaperMessages: 5337575,
+		},
+		{
+			Name: "coMD", Ranks: 360, Dims: []int{5, 8, 9},
+			HaloBytes:         []int{12288, 12288, 12288},
+			TargetP2PFraction: 0.065, PaperSpeedup: 0.038, PaperMessages: 28100000,
+		},
+		{
+			Name: "Cloverleaf", Ranks: 72, Dims: []int{8, 9},
+			HaloBytes:         []int{32768, 32768},
+			TargetP2PFraction: 0.052, PaperSpeedup: 0.028, PaperMessages: 2677705,
+		},
+		{
+			Name: "Cloverleaf", Ranks: 360, Dims: []int{18, 20},
+			HaloBytes:         []int{32768, 32768},
+			TargetP2PFraction: 0.056, PaperSpeedup: 0.024, PaperMessages: 15300000,
+		},
+	}
+}
+
+// coords converts a rank to Cartesian coordinates.
+func coords(rank int, dims []int) []int {
+	c := make([]int, len(dims))
+	for i := len(dims) - 1; i >= 0; i-- {
+		c[i] = rank % dims[i]
+		rank /= dims[i]
+	}
+	return c
+}
+
+// rankOf converts coordinates to a rank (periodic boundaries).
+func rankOf(c []int, dims []int) int {
+	r := 0
+	for i, d := range dims {
+		x := ((c[i] % d) + d) % d
+		r = r*d + x
+	}
+	return r
+}
+
+// neighbor returns the rank offset by delta in dimension dim.
+func neighbor(rank int, dims []int, dim, delta int) int {
+	c := coords(rank, dims)
+	c[dim] += delta
+	return rankOf(c, dims)
+}
+
+// Programs builds per-rank programs: iterations of halo exchange (post
+// receives, send faces, compute, wait) — the standard overlap structure.
+// computePerIter sets the per-iteration compute phase.
+func (a App) Programs(iterations int, computePerIter sim.Time) [][]mpisim.Op {
+	progs := make([][]mpisim.Op, a.Ranks)
+	for r := 0; r < a.Ranks; r++ {
+		var ops []mpisim.Op
+		for it := 0; it < iterations; it++ {
+			// Tags must uniquely pair each send with its receive:
+			// iteration, dimension, direction.
+			for d := range a.Dims {
+				if a.Dims[d] < 2 {
+					continue
+				}
+				up := neighbor(r, a.Dims, d, +1)
+				down := neighbor(r, a.Dims, d, -1)
+				tagUp := uint64(it)<<16 | uint64(d)<<2 | 1
+				tagDown := uint64(it)<<16 | uint64(d)<<2 | 2
+				ops = append(ops,
+					mpisim.Op{Kind: mpisim.OpIrecv, Peer: down, Tag: tagUp, Size: a.HaloBytes[d]},
+					mpisim.Op{Kind: mpisim.OpIrecv, Peer: up, Tag: tagDown, Size: a.HaloBytes[d]},
+					mpisim.Op{Kind: mpisim.OpIsend, Peer: up, Tag: tagUp, Size: a.HaloBytes[d]},
+					mpisim.Op{Kind: mpisim.OpIsend, Peer: down, Tag: tagDown, Size: a.HaloBytes[d]},
+				)
+			}
+			ops = append(ops,
+				mpisim.Op{Kind: mpisim.OpCompute, Dur: computePerIter},
+				mpisim.Op{Kind: mpisim.OpWaitAll},
+			)
+		}
+		progs[r] = ops
+	}
+	return progs
+}
+
+// MessagesPerIteration returns sends per iteration across all ranks.
+func (a App) MessagesPerIteration() uint64 {
+	n := 0
+	for _, d := range a.Dims {
+		if d >= 2 {
+			n += 2
+		}
+	}
+	return uint64(n * a.Ranks)
+}
+
+// Calibrate picks the per-iteration compute time so the baseline's
+// point-to-point fraction matches the paper's: it probe-runs a few
+// iterations without compute to measure the communication cost per
+// iteration, then solves comm/(comm+compute) = target.
+func (a App) Calibrate(cfg mpisim.Config, probeIters int) (sim.Time, error) {
+	e, err := mpisim.New(cfg, a.Programs(probeIters, 0))
+	if err != nil {
+		return 0, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	commPerIter := float64(res.Runtime) / float64(probeIters)
+	f := a.TargetP2PFraction
+	compute := commPerIter * (1 - f) / f
+	if compute < 0 {
+		return 0, fmt.Errorf("apps: bad target fraction %f", f)
+	}
+	return sim.Time(compute), nil
+}

@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/mpisim"
+	"repro/internal/sim"
+)
+
+func TestSuiteShapes(t *testing.T) {
+	for _, a := range Suite() {
+		prod := 1
+		for _, d := range a.Dims {
+			prod *= d
+		}
+		if prod != a.Ranks {
+			t.Errorf("%s: dims %v do not decompose %d ranks", a.Name, a.Dims, a.Ranks)
+		}
+		if len(a.HaloBytes) != len(a.Dims) {
+			t.Errorf("%s: halo sizes do not match dims", a.Name)
+		}
+		if a.TargetP2PFraction <= 0 || a.TargetP2PFraction >= 0.2 {
+			t.Errorf("%s: implausible p2p fraction %v", a.Name, a.TargetP2PFraction)
+		}
+	}
+}
+
+func TestCartesianNeighborsAreSymmetric(t *testing.T) {
+	dims := []int{3, 4, 6}
+	for rank := 0; rank < 72; rank++ {
+		for d := range dims {
+			up := neighbor(rank, dims, d, +1)
+			if neighbor(up, dims, d, -1) != rank {
+				t.Fatalf("rank %d dim %d: +1 then -1 is not the identity", rank, d)
+			}
+		}
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	dims := []int{2, 2, 4, 4}
+	for rank := 0; rank < 64; rank++ {
+		if got := rankOf(coords(rank, dims), dims); got != rank {
+			t.Fatalf("rank %d round-trips to %d", rank, got)
+		}
+	}
+}
+
+func TestProgramsPairSendsAndReceives(t *testing.T) {
+	a := App{Name: "t", Ranks: 8, Dims: []int{2, 4}, HaloBytes: []int{512, 512}, TargetP2PFraction: 0.05}
+	progs := a.Programs(3, sim.Microsecond)
+	if len(progs) != 8 {
+		t.Fatalf("%d programs", len(progs))
+	}
+	// Globally, sends and receives must pair exactly by (src,dst,tag).
+	type key struct {
+		src, dst int
+		tag      uint64
+	}
+	sends := map[key]int{}
+	recvs := map[key]int{}
+	for r, prog := range progs {
+		for _, op := range prog {
+			switch op.Kind {
+			case mpisim.OpIsend:
+				sends[key{r, op.Peer, op.Tag}]++
+			case mpisim.OpIrecv:
+				recvs[key{op.Peer, r, op.Tag}]++
+			}
+		}
+	}
+	if len(sends) == 0 {
+		t.Fatal("no sends generated")
+	}
+	for k, n := range sends {
+		if recvs[k] != n {
+			t.Fatalf("unmatched send %+v: %d sends, %d recvs", k, n, recvs[k])
+		}
+	}
+	for k, n := range recvs {
+		if sends[k] != n {
+			t.Fatalf("unmatched recv %+v", k)
+		}
+	}
+}
+
+func TestProgramsRunToCompletion(t *testing.T) {
+	a := App{Name: "t", Ranks: 8, Dims: []int{2, 4}, HaloBytes: []int{4096, 16384}, TargetP2PFraction: 0.05}
+	e, err := mpisim.New(mpisim.DefaultConfig(mpisim.SpinMatching), a.Programs(5, 2*sim.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != a.MessagesPerIteration()*5 {
+		t.Fatalf("messages = %d, want %d", res.Messages, a.MessagesPerIteration()*5)
+	}
+}
+
+func TestCalibrateProducesPositiveCompute(t *testing.T) {
+	a := App{Name: "t", Ranks: 4, Dims: []int{2, 2}, HaloBytes: []int{8192, 8192}, TargetP2PFraction: 0.05}
+	d, err := a.Calibrate(mpisim.DefaultConfig(mpisim.HostMatching), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("compute = %v", d)
+	}
+	// 5% target => compute is ~19x the comm time, i.e. clearly dominant.
+	if d < 10*sim.Microsecond {
+		t.Fatalf("calibrated compute %v implausibly small", d)
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/mpisim"
+	"repro/internal/sim"
+)
+
+// Table5cIterations is the number of halo iterations simulated per
+// application at scale 1. The paper replays full traces (up to 772 M
+// messages); the speedup is iteration-periodic, so a shorter steady-state
+// run reproduces the percentage columns while the msgs column reports our
+// simulated count (the paper's full-trace counts are in the notes).
+const Table5cIterations = 120
+
+// AppResult is one Table 5c row.
+type AppResult struct {
+	App         apps.App
+	Messages    uint64
+	Overhead    float64 // baseline point-to-point fraction
+	Speedup     float64 // (base - spin) / base
+	BaseRuntime float64 // seconds
+	SpinRuntime float64 // seconds
+}
+
+// RunApp replays one application with both protocol engines.
+func RunApp(a apps.App, iterations int) (AppResult, error) {
+	baseCfg := mpisim.DefaultConfig(mpisim.HostMatching)
+	compute, err := a.Calibrate(baseCfg, 8)
+	if err != nil {
+		return AppResult{}, err
+	}
+	progs := a.Programs(iterations, compute)
+
+	be, err := mpisim.New(baseCfg, progs)
+	if err != nil {
+		return AppResult{}, err
+	}
+	base, err := be.Run()
+	if err != nil {
+		return AppResult{}, err
+	}
+	// One correction step: communication partially hides under compute, so
+	// the first calibration undershoots the blocked fraction. Rescale the
+	// compute phase toward the paper's reported overhead and re-run.
+	if got := base.OverheadFraction(a.Ranks); got > 0.001 && got < a.TargetP2PFraction {
+		compute = sim.Time(float64(compute) * got / a.TargetP2PFraction)
+		progs = a.Programs(iterations, compute)
+		be, err = mpisim.New(baseCfg, progs)
+		if err != nil {
+			return AppResult{}, err
+		}
+		base, err = be.Run()
+		if err != nil {
+			return AppResult{}, err
+		}
+	}
+
+	se, err := mpisim.New(mpisim.DefaultConfig(mpisim.SpinMatching), progs)
+	if err != nil {
+		return AppResult{}, err
+	}
+	spin, err := se.Run()
+	if err != nil {
+		return AppResult{}, err
+	}
+
+	return AppResult{
+		App:         a,
+		Messages:    base.Messages,
+		Overhead:    base.OverheadFraction(a.Ranks),
+		Speedup:     float64(base.Runtime-spin.Runtime) / float64(base.Runtime),
+		BaseRuntime: base.Runtime.Seconds(),
+		SpinRuntime: spin.Runtime.Seconds(),
+	}, nil
+}
+
+// Table5c regenerates Table 5c: full-application improvement from fully
+// offloaded matching protocols.
+func Table5c(scale int) (*Table, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	iters := Table5cIterations / scale
+	if iters < 10 {
+		iters = 10
+	}
+	t := &Table{
+		ID:     "table5c",
+		Title:  fmt.Sprintf("Application overview: offloaded matching (%d halo iterations)", iters),
+		Header: []string{"program", "p", "msgs", "ovhd", "spdup", "paper_ovhd", "paper_spdup"},
+		Notes:  "paper traces are full-length (MILC 5.7M, POP 772M, coMD 5.3M/28.1M, Cloverleaf 2.7M/15.3M msgs)",
+	}
+	for _, a := range apps.Suite() {
+		r, err := RunApp(a, iters)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(r.App.Name, fmt.Sprintf("%d", r.App.Ranks),
+			fmt.Sprintf("%d", r.Messages),
+			fmt.Sprintf("%.1f%%", 100*r.Overhead),
+			fmt.Sprintf("%.1f%%", 100*r.Speedup),
+			fmt.Sprintf("%.1f%%", 100*r.App.TargetP2PFraction),
+			fmt.Sprintf("%.1f%%", 100*r.App.PaperSpeedup))
+	}
+	return t, nil
+}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/handlers"
+	"repro/internal/hostsim"
+	"repro/internal/netsim"
+	"repro/internal/noise"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// binomialChildren lists rank's children in a binomial tree rooted at 0.
+func binomialChildren(rank, nprocs int) []int {
+	var out []int
+	for half := nprocs / 2; half >= 1; half /= 2 {
+		if rank%(half*2) == 0 && rank+half < nprocs {
+			out = append(out, rank+half)
+		}
+	}
+	return out
+}
+
+// BroadcastTime measures a binomial-tree broadcast of size bytes to nprocs
+// ranks (§4.4.3, Fig. 5a): the time until the last rank holds the data.
+func BroadcastTime(p netsim.Params, v Variant, nprocs, size int) (sim.Time, error) {
+	// Deep trees queue many forwarded packets per HPU; give the portal a
+	// generous flow budget so the measurement reflects latency, not drops.
+	p.FlowDeadline = 10 * sim.Millisecond
+	c, err := netsim.NewCluster(nprocs, p)
+	if err != nil {
+		return 0, err
+	}
+	attachTrace(c)
+	nis := portals.Setup(c)
+	var last sim.Time
+	remaining := nprocs - 1
+	var completionErr error
+	markDone := func(at sim.Time) {
+		if at > last {
+			last = at
+		}
+		remaining--
+	}
+
+	for r := 0; r < nprocs; r++ {
+		r := r
+		if _, err := nis[r].PTAlloc(0, nil); err != nil {
+			return 0, err
+		}
+		if r == 0 {
+			continue // the root only sends
+		}
+		eq := portals.NewEQ(c.Eng)
+		ct := portals.NewCT(c.Eng)
+		me := &portals.ME{MatchBits: 7, EQ: eq, CT: ct}
+		children := binomialChildren(r, nprocs)
+		switch v {
+		case RDMA:
+			cpu := hostsim.New(c, r, noise.None())
+			got := 0
+			eq.OnEvent(func(ev portals.Event) {
+				got += ev.Length
+				if ev.Length == 0 {
+					got += size
+				}
+				if got < size {
+					return
+				}
+				t := cpu.PollMatch(ev.At)
+				for _, child := range children {
+					var err error
+					t, err = nis[r].Put(t, portals.PutArgs{
+						Length: size, NoData: true, Target: child, PTIndex: 0, MatchBits: 7,
+					})
+					if err != nil {
+						completionErr = err
+					}
+				}
+				markDone(ev.At)
+			})
+		case P4:
+			for _, child := range children {
+				nis[r].TriggeredPut(portals.PutArgs{
+					Length: size, NoData: true, Target: child, PTIndex: 0, MatchBits: 7,
+				}, ct, 1)
+			}
+			got := 0
+			eq.OnEvent(func(ev portals.Event) {
+				got += ev.Length
+				if ev.Length == 0 {
+					got += size
+				}
+				if got >= size {
+					markDone(ev.At)
+				}
+			})
+		case SpinStore, SpinStream:
+			maxSize := p.MTU
+			if v == SpinStream {
+				maxSize = 1 << 30
+			}
+			mem, err := nis[r].RT.AllocHPUMem(handlers.BcastStateBytes)
+			if err != nil {
+				return 0, err
+			}
+			me.HPUMem = mem
+			// Handlers deposit each rank's copy via DMA, so the ME needs
+			// a real host region for the write timing to be charged.
+			me.Start = make([]byte, size)
+			me.Handlers = handlers.Bcast(handlers.BcastConfig{
+				MyRank: r, NProcs: nprocs, PT: 0, Bits: 7,
+				Streaming: true, MaxSize: maxSize,
+			})
+			got := 0
+			eq.OnEvent(func(ev portals.Event) {
+				got += ev.Length
+				if ev.Length == 0 {
+					got += size
+				}
+				if got >= size {
+					markDone(ev.At)
+				}
+			})
+		}
+		if err := nis[r].MEAppend(0, me, portals.PriorityList); err != nil {
+			return 0, err
+		}
+	}
+
+	// Root: sequential host posts to its binomial children (each pays o).
+	var t sim.Time
+	for _, child := range binomialChildren(0, nprocs) {
+		var err error
+		t, err = nis[0].Put(t, portals.PutArgs{
+			Length: size, NoData: true, Target: child, PTIndex: 0, MatchBits: 7,
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	c.Eng.Run()
+	if completionErr != nil {
+		return 0, completionErr
+	}
+	if remaining > 0 {
+		return 0, fmt.Errorf("bench: broadcast %v P=%d size=%d: %d ranks never completed", v, nprocs, size, remaining)
+	}
+	return last, nil
+}
+
+// Fig5aProcs is the paper's process-count sweep.
+func Fig5aProcs() []int { return []int{4, 16, 64, 256, 1024} }
+
+// Fig5a regenerates Figure 5a: broadcast latency on the discrete NIC for
+// 8 B and 64 KiB messages.
+func Fig5a(scale int) (*Table, error) {
+	t := &Table{
+		ID:    "fig5a",
+		Title: "Binomial-tree broadcast latency, discrete NIC (us)",
+		Header: []string{"procs",
+			"RDMA(8B)", "P4(8B)", "sPIN(8B)",
+			"RDMA(64KiB)", "P4(64KiB)", "sPIN(64KiB)"},
+		Notes: "paper: sPIN fastest at both sizes; gap grows with message size (streaming pipeline)",
+	}
+	procs := Fig5aProcs()
+	if scale > 1 && len(procs) > 3 {
+		procs = []int{4, 64, 1024}
+	}
+	p := netsim.Discrete()
+	for _, n := range procs {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, size := range []int{8, 64 << 10} {
+			for _, v := range []Variant{RDMA, P4, SpinStream} {
+				d, err := BroadcastTime(p, v, n, size)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, us(int64(d)))
+			}
+		}
+		// Reorder columns: sizes grouped as in the header.
+		t.Add(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
+	}
+	return t, nil
+}
+
+// AblationBcastStore regenerates the §4.4.3 store-vs-stream comparison:
+// the paper reports store-and-forward within 5% of streaming for
+// single-packet messages and of Portals 4 for multi-packet messages.
+func AblationBcastStore() (*Table, error) {
+	t := &Table{
+		ID:     "bcast-store",
+		Title:  "Broadcast store-and-forward vs streaming (64 ranks, discrete, us)",
+		Header: []string{"bytes", "P4", "sPIN(store)", "sPIN(stream)", "store_vs_ref"},
+	}
+	p := netsim.Discrete()
+	for _, size := range []int{8, 512, 4096, 65536} {
+		p4, err := BroadcastTime(p, P4, 64, size)
+		if err != nil {
+			return nil, err
+		}
+		store, err := BroadcastTime(p, SpinStore, 64, size)
+		if err != nil {
+			return nil, err
+		}
+		stream, err := BroadcastTime(p, SpinStream, 64, size)
+		if err != nil {
+			return nil, err
+		}
+		// Reference: streaming for single-packet, P4 for multi-packet.
+		ref := stream
+		if size > p.MTU {
+			ref = p4
+		}
+		t.Add(fmt.Sprintf("%d", size), us(int64(p4)), us(int64(store)), us(int64(stream)),
+			fmt.Sprintf("%+.1f%%", 100*(float64(store)/float64(ref)-1)))
+	}
+	return t, nil
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/raidsim"
+	"repro/internal/sim"
+	"repro/internal/spctrace"
+)
+
+// SPCOpsPerTrace is the number of requests replayed per trace. The paper
+// replays the full SPC traces; the improvement percentage is stable after
+// a few hundred requests of the same mixture.
+const SPCOpsPerTrace = 400
+
+// ReplayTrace runs one trace on a fresh RAID-5 system and returns the
+// total processing time.
+func ReplayTrace(p netsim.Params, spin bool, recs []spctrace.Record) (sim.Time, error) {
+	sys, err := raidsim.New(p, spin)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Replay(recs)
+}
+
+// SPCTraces regenerates the §5.3 trace study: processing-time improvement
+// of sPIN over RDMA for the five SPC traces, on both NIC types. The paper
+// reports improvements between 2.8% and 43.7%, with the largest on the
+// financial (OLTP) traces with the integrated NIC.
+func SPCTraces() (*Table, error) {
+	t := &Table{
+		ID:    "spc",
+		Title: fmt.Sprintf("SPC trace replay on RAID-5 (%d requests per trace, ms)", SPCOpsPerTrace),
+		Header: []string{"trace", "writes",
+			"RDMA(int)", "sPIN(int)", "improv(int)",
+			"RDMA(dis)", "sPIN(dis)", "improv(dis)"},
+		Notes: "paper: improvements 2.8%..43.7%, largest for financial traces on the integrated NIC",
+	}
+	traces := spctrace.Suite(SPCOpsPerTrace)
+	for _, name := range spctrace.SuiteNames() {
+		recs := traces[name]
+		stats := spctrace.Summarize(recs)
+		row := []string{name, fmt.Sprintf("%.0f%%", 100*stats.WriteFraction)}
+		for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
+			base, err := ReplayTrace(p, false, recs)
+			if err != nil {
+				return nil, err
+			}
+			spin, err := ReplayTrace(p, true, recs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmt.Sprintf("%.3f", base.Seconds()*1e3),
+				fmt.Sprintf("%.3f", spin.Seconds()*1e3),
+				fmt.Sprintf("%.1f%%", 100*(1-float64(spin)/float64(base))))
+		}
+		t.Add(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MemSpace selects which host-memory region a DMA call targets
+// (PTL_ME_HOST_MEM vs PTL_HANDLER_HOST_MEM, Appendix B.6).
+type MemSpace int
+
+const (
+	// MEHostMem is the ME's steering target region.
+	MEHostMem MemSpace = iota
+	// HandlerHostMem is the auxiliary per-handler host region.
+	HandlerHostMem
+)
+
+// DMAHandle tracks a nonblocking DMA transfer (Appendix B.6).
+type DMAHandle struct {
+	done sim.Time
+	used bool
+}
+
+// GetRequest describes a handler-issued get (PtlHandlerGet*): fetch Length
+// bytes from the ME matched by MatchBits at Target and deposit them at
+// LocalOffset of the issuing ME's host memory. OnDone runs at the requester
+// when the response has fully landed in host memory.
+type GetRequest struct {
+	Target       int
+	PTIndex      int
+	MatchBits    uint64
+	HdrData      uint64
+	LocalOffset  int64
+	RemoteOffset int64
+	Length       int
+	OnDone       func(now sim.Time)
+}
+
+// Ctx is the execution context passed to every handler invocation. It
+// exposes the handler actions of Appendix B.6 and accounts simulated time:
+// each action advances the context's clock by its instruction cost and any
+// resource waits (DMA bus, NIC egress).
+type Ctx struct {
+	rt  *Runtime
+	me  *MEContext
+	msg *netsim.Message
+
+	now    sim.Time
+	start  sim.Time
+	hpu    int
+	cycles int64
+	err    error
+
+	// lastVisible tracks when this invocation's DMA writes become
+	// globally visible, for completion-event ordering.
+	lastVisible sim.Time
+}
+
+// Now returns the handler's current simulated time.
+func (c *Ctx) Now() sim.Time { return c.now }
+
+// MTU returns the device's maximum packet payload (max_payload_size).
+func (c *Ctx) MTU() int { return c.rt.C.P.MTU }
+
+// HdrData returns the current message's 64-bit inline header data, also
+// available to payload and completion handlers (the header struct itself
+// is only passed to the header handler).
+func (c *Ctx) HdrData() uint64 {
+	c.Charge(1)
+	return c.msg.HdrData
+}
+
+// MyHPU returns the index of the HPU executing this handler (PTL_MY_HPU).
+func (c *Ctx) MyHPU() int { return c.hpu }
+
+// NumHPUs returns the number of HPU contexts (PTL_NUM_HPUS).
+func (c *Ctx) NumHPUs() int { return c.rt.HPUs.Size() }
+
+// State returns the HPU shared memory attached to the ME.
+func (c *Ctx) State() []byte {
+	if c.me.State == nil {
+		return nil
+	}
+	return c.me.State.Buf
+}
+
+// Err returns the first action error (e.g. out-of-range DMA), if any.
+func (c *Ctx) Err() error { return c.err }
+
+// Cycles returns the instruction cycles charged so far in this invocation.
+func (c *Ctx) Cycles() int64 { return c.cycles }
+
+// Charge accounts n instruction cycles of handler computation. Cycles
+// contend for the NIC's execution units: with more thread contexts than
+// cores, compute from concurrent handlers serializes on the issue pool
+// while DMA and egress waits overlap freely.
+func (c *Ctx) Charge(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.cycles += n
+	dur := sim.Time(n) * c.rt.C.P.HPUCycle
+	_, start := c.rt.issue.AcquireAny(c.now, dur)
+	c.now = start + dur
+}
+
+// ChargePerByteMilli accounts a data-parallel loop over n bytes at
+// milliCyclesPerByte (see costs.go for calibrated constants).
+func (c *Ctx) ChargePerByteMilli(n int, milliCyclesPerByte int64) {
+	if n <= 0 {
+		return
+	}
+	cy := (int64(n)*milliCyclesPerByte + 999) / 1000
+	c.Charge(cy)
+}
+
+// Yield hints that the HPU may schedule another handler (PtlHandlerYield).
+// The runtime models massively-threaded HPUs implicitly, so this only
+// charges its instruction cost.
+func (c *Ctx) Yield() { c.Charge(CostYield) }
+
+// fail records the first action error.
+func (c *Ctx) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// hostSpace resolves a memory space to its backing buffer.
+func (c *Ctx) hostSpace(space MemSpace) []byte {
+	if space == HandlerHostMem {
+		return c.me.HandlerHostMem
+	}
+	return c.me.HostMem
+}
+
+func (c *Ctx) checkRange(buf []byte, offset int64, n int, op string) bool {
+	if offset < 0 || n < 0 || offset+int64(n) > int64(len(buf)) {
+		c.fail(fmt.Errorf("core: %s [%d,%d) outside host region of %d bytes", op, offset, offset+int64(n), len(buf)))
+		return false
+	}
+	return true
+}
+
+// DMAToHostB copies local to host memory at offset (blocking write:
+// PtlHandlerDMAToHostB). The HPU blocks only for the initiation of the
+// posted write; the data becomes visible one bus latency later.
+func (c *Ctx) DMAToHostB(local []byte, offset int64, space MemSpace) {
+	c.Charge(CostDMAIssue)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, len(local), "DMAToHost") {
+		return
+	}
+	free, visible := c.rt.Node.Bus.Write(c.now, len(local))
+	copy(buf[offset:], local)
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, visible, "wr")
+	c.now = free
+	if visible > c.lastVisible {
+		c.lastVisible = visible
+	}
+}
+
+// DMAFromHostB copies host memory at offset into local (blocking read:
+// PtlHandlerDMAFromHostB). The HPU blocks for two bus latencies plus the
+// transfer, per §4.3.
+func (c *Ctx) DMAFromHostB(offset int64, local []byte, space MemSpace) {
+	c.Charge(CostDMAIssue)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, len(local), "DMAFromHost") {
+		return
+	}
+	ready := c.rt.Node.Bus.Read(c.now, len(local))
+	copy(local, buf[offset:])
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, ready, "rd")
+	c.now = ready
+}
+
+// DMAToHostNB is the nonblocking variant of DMAToHostB; the returned handle
+// completes when the data is visible in host memory.
+func (c *Ctx) DMAToHostNB(local []byte, offset int64, space MemSpace) *DMAHandle {
+	c.Charge(CostDMAIssue + CostDMAHandle)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, len(local), "DMAToHostNB") {
+		return &DMAHandle{done: c.now}
+	}
+	_, visible := c.rt.Node.Bus.Write(c.now, len(local))
+	copy(buf[offset:], local)
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, visible, "wr-nb")
+	if visible > c.lastVisible {
+		c.lastVisible = visible
+	}
+	return &DMAHandle{done: visible}
+}
+
+// DMAFromHostNB is the nonblocking variant of DMAFromHostB. The simulation
+// performs the data copy eagerly; timing is carried by the handle.
+func (c *Ctx) DMAFromHostNB(offset int64, local []byte, space MemSpace) *DMAHandle {
+	c.Charge(CostDMAIssue + CostDMAHandle)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, len(local), "DMAFromHostNB") {
+		return &DMAHandle{done: c.now}
+	}
+	ready := c.rt.Node.Bus.Read(c.now, len(local))
+	copy(local, buf[offset:])
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, ready, "rd-nb")
+	return &DMAHandle{done: ready}
+}
+
+// DMATest reports whether a nonblocking DMA has completed (PtlHandlerDMATest).
+func (c *Ctx) DMATest(h *DMAHandle) bool {
+	c.Charge(CostBranch)
+	return h.done <= c.now
+}
+
+// DMAWait blocks until a nonblocking DMA completes (PtlHandlerDMAWait).
+func (c *Ctx) DMAWait(h *DMAHandle) {
+	c.Charge(CostBranch)
+	if h.done > c.now {
+		c.now = h.done
+	}
+	h.used = true
+}
+
+// DMACAS is an atomic compare-and-swap on 8 naturally-aligned bytes of host
+// memory (PtlHandlerDMACASNB's blocking core). It returns the previous value
+// and whether the swap happened.
+func (c *Ctx) DMACAS(offset int64, cmpval, swapval uint64, space MemSpace) (prev uint64, swapped bool) {
+	c.Charge(CostDMAIssue)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, 8, "DMACAS") {
+		return 0, false
+	}
+	done := c.rt.Node.Bus.Atomic(c.now, 8)
+	prev = binary.LittleEndian.Uint64(buf[offset:])
+	if prev == cmpval {
+		binary.LittleEndian.PutUint64(buf[offset:], swapval)
+		swapped = true
+	}
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, done, "cas")
+	c.now = done
+	if done > c.lastVisible {
+		c.lastVisible = done
+	}
+	return prev, swapped
+}
+
+// DMAFetchAdd atomically adds inc to 8 bytes of host memory and returns the
+// previous value (PtlHandlerDMAFetchAddNB's blocking core).
+func (c *Ctx) DMAFetchAdd(offset int64, inc uint64, space MemSpace) (prev uint64) {
+	c.Charge(CostDMAIssue)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, 8, "DMAFetchAdd") {
+		return 0
+	}
+	done := c.rt.Node.Bus.Atomic(c.now, 8)
+	prev = binary.LittleEndian.Uint64(buf[offset:])
+	binary.LittleEndian.PutUint64(buf[offset:], prev+inc)
+	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, done, "fadd")
+	c.now = done
+	if done > c.lastVisible {
+		c.lastVisible = done
+	}
+	return prev
+}
+
+// CAS is an atomic compare-and-swap on HPU shared memory (PtlHandlerCAS).
+func (c *Ctx) CAS(offset int64, cmpval, swapval uint64) bool {
+	c.Charge(CostAtomic)
+	st := c.State()
+	if offset < 0 || offset+8 > int64(len(st)) {
+		c.fail(fmt.Errorf("core: CAS at %d outside HPU memory of %d bytes", offset, len(st)))
+		return false
+	}
+	if binary.LittleEndian.Uint64(st[offset:]) != cmpval {
+		return false
+	}
+	binary.LittleEndian.PutUint64(st[offset:], swapval)
+	return true
+}
+
+// FAdd atomically adds inc to HPU shared memory and returns the previous
+// value (PtlHandlerFAdd).
+func (c *Ctx) FAdd(offset int64, inc uint64) uint64 {
+	c.Charge(CostAtomic)
+	st := c.State()
+	if offset < 0 || offset+8 > int64(len(st)) {
+		c.fail(fmt.Errorf("core: FAdd at %d outside HPU memory of %d bytes", offset, len(st)))
+		return 0
+	}
+	prev := binary.LittleEndian.Uint64(st[offset:])
+	binary.LittleEndian.PutUint64(st[offset:], prev+inc)
+	return prev
+}
+
+// U64 loads 8 bytes of HPU memory, charging one scratchpad access cycle.
+func (c *Ctx) U64(offset int64) uint64 {
+	c.Charge(1)
+	st := c.State()
+	if offset < 0 || offset+8 > int64(len(st)) {
+		c.fail(fmt.Errorf("core: load at %d outside HPU memory", offset))
+		return 0
+	}
+	return binary.LittleEndian.Uint64(st[offset:])
+}
+
+// SetU64 stores 8 bytes of HPU memory, charging one scratchpad access cycle.
+func (c *Ctx) SetU64(offset int64, v uint64) {
+	c.Charge(1)
+	st := c.State()
+	if offset < 0 || offset+8 > int64(len(st)) {
+		c.fail(fmt.Errorf("core: store at %d outside HPU memory", offset))
+		return
+	}
+	binary.LittleEndian.PutUint64(st[offset:], v)
+}
+
+// PutFromDevice sends a single-packet message from HPU memory
+// (PtlHandlerPutFromDevice). The HPU blocks until the packet is injected:
+// the NIC uses HPU memory as the outgoing buffer.
+func (c *Ctx) PutFromDevice(data []byte, target, ptIndex int, matchBits uint64, remoteOffset int64, hdrData uint64) error {
+	c.Charge(CostPut)
+	if len(data) > c.rt.C.P.MTU {
+		err := fmt.Errorf("core: PutFromDevice of %d bytes exceeds max_payload_size %d", len(data), c.rt.C.P.MTU)
+		c.fail(err)
+		return err
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	m := &netsim.Message{
+		Type:      netsim.OpPut,
+		Src:       c.rt.Node.Rank,
+		Dst:       target,
+		PTIndex:   ptIndex,
+		MatchBits: matchBits,
+		Offset:    remoteOffset,
+		HdrData:   hdrData,
+		Length:    len(payload),
+		Data:      payload,
+	}
+	c.rt.C.Send(c.now, m)
+	if free := c.rt.Node.Egress.FreeAt(); free > c.now {
+		c.now = free
+	}
+	return nil
+}
+
+// PutFromHost enqueues a put whose data originates in host memory
+// (PtlHandlerPutFromHost). The call is nonblocking for the HPU; the message
+// enters the normal send queue as if posted by the host, without host-CPU
+// involvement. Consistent with the paper's accounting (§4.3 charges DMA on
+// delivery into host memory; source-side send-queue fetches are omitted,
+// as in the RDMA/P4 baselines), no source DMA time is charged here.
+func (c *Ctx) PutFromHost(space MemSpace, offset int64, length int, target, ptIndex int, matchBits uint64, remoteOffset int64, hdrData uint64) error {
+	c.Charge(CostPut)
+	buf := c.hostSpace(space)
+	if !c.checkRange(buf, offset, length, "PutFromHost") {
+		return c.err
+	}
+	payload := make([]byte, length)
+	copy(payload, buf[offset:])
+	m := &netsim.Message{
+		Type:      netsim.OpPut,
+		Src:       c.rt.Node.Rank,
+		Dst:       target,
+		PTIndex:   ptIndex,
+		MatchBits: matchBits,
+		Offset:    remoteOffset,
+		HdrData:   hdrData,
+		Length:    length,
+		Data:      payload,
+	}
+	c.rt.C.DeviceSend(c.now, m)
+	return nil
+}
+
+// Get issues a handler get (PtlHandlerGet): fetch req.Length bytes from the
+// target ME and deposit them into this ME's host memory at req.LocalOffset.
+// Requires the Portals layer to provide the MEContext.IssueGet plumbing.
+func (c *Ctx) Get(req GetRequest) error {
+	c.Charge(CostGet)
+	if c.me.IssueGet == nil {
+		err := fmt.Errorf("core: Get issued but no IssueGet plumbing installed")
+		c.fail(err)
+		return err
+	}
+	c.me.IssueGet(c.now, req)
+	return nil
+}
+
+// CTInc atomically increments the counter attached to the ME
+// (PtlHandlerCTInc), if the upper layer installed one.
+func (c *Ctx) CTInc(n uint64) {
+	c.Charge(CostAtomic)
+	if c.me.OnCTInc != nil {
+		c.me.OnCTInc(c.now, n)
+	}
+}
+
+// SteerTo overrides the offset at which this message's default action
+// deposits into the ME — the "advanced data steering" a header handler
+// performs (e.g. the KV-store insert of §5.4 choosing the hash-chain slot).
+// Only meaningful from a header handler that returns Proceed.
+func (c *Ctx) SteerTo(offset int64) {
+	c.Charge(CostBranch)
+	c.msg.Offset = offset
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// MEContext is everything the runtime needs to process messages matched to
+// one sPIN-enabled matching entry: the handlers, the HPU shared memory, the
+// host memory windows, and callbacks into the layer above (Portals event
+// queues, counters, and get plumbing).
+type MEContext struct {
+	Handlers HandlerSet
+	// State is the HPU shared memory handle (PtlHPUAllocMem); may be nil
+	// for stateless handlers.
+	State *HPUMem
+	// HostMem is the ME's host-memory region (steering target).
+	HostMem []byte
+	// HandlerHostMem is the optional extra host region for handler output.
+	HandlerHostMem []byte
+	// OnComplete delivers the message result to the upper layer (event
+	// queue / counter updates). May be nil.
+	OnComplete func(now sim.Time, r MessageResult)
+	// OnCTInc propagates PtlHandlerCTInc to the ME's counter. May be nil.
+	OnCTInc func(now sim.Time, n uint64)
+	// IssueGet sends a handler get through the Portals layer. May be nil
+	// when handlers never call Get.
+	IssueGet func(now sim.Time, req GetRequest)
+}
+
+// msgState tracks one in-flight message on the NIC.
+type msgState struct {
+	me    *MEContext
+	msg   *netsim.Message
+	total int
+	rc    HeaderRC
+
+	headerDone   bool
+	headerDoneAt sim.Time
+	arrived      int
+	lastEnd      sim.Time // latest handler end / deposit visibility
+	dropped      int
+	flowCtl      bool
+	pending      bool
+	err          error
+	completed    bool
+}
+
+// Runtime is the per-NIC sPIN runtime: it owns the HPU contexts and HPU
+// memory and executes handlers for matched packets handed down by the
+// Portals layer.
+//
+// The HPU model separates contexts from execution units (§4.1): HPUs is a
+// pool of NumHPUs×HPUThreads hardware thread contexts — a handler holds
+// one for its whole lifetime, including DMA and egress waits, during which
+// it is descheduled. Compute cycles serialize on the issue pool of NumHPUs
+// cores, so the NIC never exceeds its aggregate instruction throughput.
+type Runtime struct {
+	C     *netsim.Cluster
+	Node  *netsim.Node
+	HPUs  *sim.Pool         // thread contexts (admission + flow control)
+	issue *sim.IntervalPool // execution units (compute serialization)
+
+	// HPUMemCapacity bounds PtlHPUAllocMem allocations (max_handler_mem).
+	HPUMemCapacity int
+	hpuMemUsed     int
+
+	msgs map[*netsim.Message]*msgState
+
+	// Stats
+	HandlerInvocations uint64
+	HandlerCycles      uint64
+	PacketsDropped     uint64
+	FlowControlEvents  uint64
+	MessagesProcessed  uint64
+}
+
+// DefaultHPUMemCapacity is the scratchpad capacity assumed per NIC. The
+// paper derives ~25 KB of buffering per 200 ns of handler delay at 1 Tb/s
+// (§4.1) and suggests several microseconds' worth is realistic; 1 MiB
+// accommodates all the paper's use cases with room for user state.
+const DefaultHPUMemCapacity = 1 << 20
+
+// NewRuntime attaches a sPIN runtime to a node.
+func NewRuntime(c *netsim.Cluster, node *netsim.Node) *Runtime {
+	threads := c.P.HPUThreads
+	if threads < 1 {
+		threads = 1
+	}
+	return &Runtime{
+		C:              c,
+		Node:           node,
+		HPUs:           sim.NewPool(fmt.Sprintf("hpuctx-%d", node.Rank), c.P.NumHPUs*threads),
+		issue:          sim.NewIntervalPool(fmt.Sprintf("hpu-%d", node.Rank), c.P.NumHPUs),
+		HPUMemCapacity: DefaultHPUMemCapacity,
+		msgs:           make(map[*netsim.Message]*msgState),
+	}
+}
+
+// AllocHPUMem allocates n bytes of HPU scratchpad (PtlHPUAllocMem).
+func (rt *Runtime) AllocHPUMem(n int) (*HPUMem, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative HPU memory size %d", n)
+	}
+	if rt.hpuMemUsed+n > rt.HPUMemCapacity {
+		return nil, fmt.Errorf("core: HPU memory exhausted: %d + %d > %d", rt.hpuMemUsed, n, rt.HPUMemCapacity)
+	}
+	rt.hpuMemUsed += n
+	return &HPUMem{Buf: make([]byte, n)}, nil
+}
+
+// FreeHPUMem releases scratchpad memory (PtlHPUFreeMem).
+func (rt *Runtime) FreeHPUMem(m *HPUMem) {
+	if m == nil {
+		return
+	}
+	rt.hpuMemUsed -= len(m.Buf)
+	m.Buf = nil
+}
+
+// HPUMemUsed reports the currently allocated scratchpad bytes.
+func (rt *Runtime) HPUMemUsed() int { return rt.hpuMemUsed }
+
+// Deliver processes one matched packet for a sPIN-enabled ME. The transport
+// delivers packets of a message in order (header first); Deliver panics on
+// a violation of that invariant because it would indicate a transport bug.
+func (rt *Runtime) Deliver(now sim.Time, pkt *netsim.Packet, me *MEContext) {
+	ms := rt.msgs[pkt.Msg]
+	if ms == nil {
+		if !pkt.Header {
+			panic("core: payload packet before header packet")
+		}
+		ms = &msgState{me: me, msg: pkt.Msg, total: rt.C.P.Packets(pkt.Msg.Length)}
+		rt.msgs[pkt.Msg] = ms
+	}
+	ms.arrived++
+	if pkt.Header {
+		rt.runHeader(now, pkt, ms)
+		// The header packet may carry payload itself.
+		if pkt.Size > 0 {
+			rt.handlePayload(now, pkt, ms)
+		}
+	} else {
+		rt.handlePayload(now, pkt, ms)
+	}
+	rt.maybeComplete(ms)
+}
+
+// newCtx builds a handler context starting at time start on HPU hpu.
+func (rt *Runtime) newCtx(start sim.Time, hpu int, ms *msgState) *Ctx {
+	return &Ctx{rt: rt, me: ms.me, msg: ms.msg, now: start, start: start, hpu: hpu}
+}
+
+// finishCtx closes a handler invocation: charges the epilogue, extends the
+// HPU reservation, records the span, and merges timing into the message.
+func (rt *Runtime) finishCtx(c *Ctx, ms *msgState, kind string) sim.Time {
+	c.Charge(CostHandlerReturn)
+	rt.HPUs.ExtendReservation(c.hpu, c.now)
+	rt.C.Rec.Record(rt.Node.Rank, fmt.Sprintf("HPU %d", c.hpu), c.start, c.now, kind)
+	rt.HandlerInvocations++
+	rt.HandlerCycles += uint64(c.cycles)
+	if c.err != nil && ms.err == nil {
+		ms.err = c.err
+	}
+	if c.now > ms.lastEnd {
+		ms.lastEnd = c.now
+	}
+	if c.lastVisible > ms.lastEnd {
+		ms.lastEnd = c.lastVisible
+	}
+	return c.now
+}
+
+func (rt *Runtime) runHeader(now sim.Time, pkt *netsim.Packet, ms *msgState) {
+	ms.headerDone = true
+	ms.headerDoneAt = now
+	h := Header{
+		Type:      uint8(pkt.Msg.Type),
+		Length:    pkt.Msg.Length,
+		Target:    pkt.Msg.Dst,
+		Source:    pkt.Msg.Src,
+		MatchBits: pkt.Msg.MatchBits,
+		Offset:    pkt.Msg.Offset,
+		HdrData:   pkt.Msg.HdrData,
+		UserHdr:   pkt.Msg.UserHdr,
+	}
+	if ms.me.Handlers.Header == nil {
+		if ms.me.Handlers.Payload != nil {
+			ms.rc = ProcessData
+		} else {
+			ms.rc = Proceed
+		}
+		return
+	}
+	hpu, start, ok := rt.HPUs.AcquireAnyBefore(now, 0, now+rt.C.P.FlowDeadline)
+	if !ok {
+		// No HPU context: the portal enters flow control and the whole
+		// message is discarded (§3.2).
+		rt.FlowControlEvents++
+		ms.flowCtl = true
+		ms.rc = Drop
+		ms.dropped += pkt.Msg.Length
+		return
+	}
+	c := rt.newCtx(start, hpu, ms)
+	c.Charge(CostHandlerStart)
+	rc := ms.me.Handlers.Header(c, h)
+	end := rt.finishCtx(c, ms, "hdr")
+	ms.headerDoneAt = end
+	if rc.IsError() {
+		if ms.err == nil {
+			ms.err = fmt.Errorf("core: header handler returned %d", rc)
+		}
+		rc = Drop
+	}
+	if rc.Pending() {
+		ms.pending = true
+	}
+	// Normalize to the three base actions.
+	switch rc {
+	case Drop, DropPending:
+		ms.rc = Drop
+	case Proceed, ProceedPending:
+		ms.rc = Proceed
+	default:
+		ms.rc = ProcessData
+	}
+	if ms.rc == ProcessData && ms.me.Handlers.Payload == nil {
+		ms.rc = Proceed
+	}
+}
+
+func (rt *Runtime) handlePayload(now sim.Time, pkt *netsim.Packet, ms *msgState) {
+	start := now
+	if ms.headerDoneAt > start {
+		start = ms.headerDoneAt
+	}
+	switch ms.rc {
+	case Drop:
+		if ms.flowCtl {
+			ms.dropped += 0 // whole message already counted at header
+		}
+		rt.PacketsDropped++
+	case Proceed:
+		rt.deposit(start, pkt, ms)
+	case ProcessData:
+		hpu, hstart, ok := rt.HPUs.AcquireAnyBefore(start, 0, start+rt.C.P.FlowDeadline)
+		if !ok {
+			rt.FlowControlEvents++
+			rt.PacketsDropped++
+			ms.flowCtl = true
+			ms.dropped += pkt.Size
+			return
+		}
+		c := rt.newCtx(hstart, hpu, ms)
+		c.Charge(CostHandlerStart)
+		prc := ms.me.Handlers.Payload(c, Payload{Offset: pkt.Offset, Size: pkt.Size, Data: payloadBytes(pkt)})
+		rt.finishCtx(c, ms, "pld")
+		switch prc {
+		case PayloadDrop:
+			ms.dropped += pkt.Size
+		case PayloadFail, PayloadSegv:
+			if ms.err == nil {
+				ms.err = fmt.Errorf("core: payload handler returned %d", prc)
+			}
+		}
+	}
+}
+
+// payloadBytes returns the packet's payload slice, or a zero slice for
+// timing-only messages without data.
+func payloadBytes(pkt *netsim.Packet) []byte {
+	if pkt.Msg.Data == nil {
+		return nil
+	}
+	return pkt.Msg.Data[pkt.Offset : pkt.Offset+pkt.Size]
+}
+
+// deposit performs the default action: DMA the packet payload into the ME's
+// host memory at the message offset.
+func (rt *Runtime) deposit(start sim.Time, pkt *netsim.Packet, ms *msgState) {
+	free, visible := rt.Node.Bus.Write(start, pkt.Size)
+	_ = free
+	rt.C.Rec.Record(rt.Node.Rank, "DMA", start, visible, "deposit")
+	if ms.me.HostMem != nil && pkt.Msg.Data != nil {
+		off := pkt.Msg.Offset + int64(pkt.Offset)
+		if off >= 0 && off+int64(pkt.Size) <= int64(len(ms.me.HostMem)) {
+			copy(ms.me.HostMem[off:], payloadBytes(pkt))
+		}
+	}
+	if visible > ms.lastEnd {
+		ms.lastEnd = visible
+	}
+}
+
+func (rt *Runtime) maybeComplete(ms *msgState) {
+	if ms.completed || !ms.headerDone || ms.arrived < ms.total {
+		return
+	}
+	ms.completed = true
+	rt.MessagesProcessed++
+	delete(rt.msgs, ms.msg)
+
+	end := ms.lastEnd
+	if ms.headerDoneAt > end {
+		end = ms.headerDoneAt
+	}
+	if ms.me.Handlers.Completion != nil {
+		hpu, start := rt.HPUs.AcquireAny(end, 0)
+		c := rt.newCtx(start, hpu, ms)
+		c.Charge(CostHandlerStart)
+		crc := ms.me.Handlers.Completion(c, ms.dropped, ms.flowCtl)
+		end = rt.finishCtx(c, ms, "cpl")
+		switch crc {
+		case CompletionSuccessPending:
+			ms.pending = true
+		case CompletionFail, CompletionSegv:
+			if ms.err == nil {
+				ms.err = fmt.Errorf("core: completion handler returned %d", crc)
+			}
+		}
+		if ms.lastEnd > end {
+			end = ms.lastEnd
+		}
+	}
+	if ms.me.OnComplete != nil {
+		res := MessageResult{
+			Msg:          ms.msg,
+			End:          end,
+			DroppedBytes: ms.dropped,
+			FlowControl:  ms.flowCtl,
+			Pending:      ms.pending,
+			Err:          ms.err,
+		}
+		done := ms.me.OnComplete
+		rt.C.Eng.Schedule(end, func() { done(rt.C.Eng.Now(), res) })
+	}
+}

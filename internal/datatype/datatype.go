@@ -1,0 +1,175 @@
+// Package datatype implements MPI-style derived datatypes (§5.2): the O(1)
+// strided vector description ⟨start, stride, blocksize, count⟩, contiguous
+// types, and O(n) iovec lists, together with the pack/unpack machinery the
+// datatype experiments use. The central operation is Segments: mapping a
+// range of the packed byte stream onto host-memory segments — exactly the
+// computation the sPIN payload handler performs per packet (Fig. 6).
+package datatype
+
+import "fmt"
+
+// Segment is one contiguous piece of host memory.
+type Segment struct {
+	Offset int64 // host offset relative to the type's start
+	Length int
+}
+
+// Type describes a layout of host memory as a packed byte stream.
+type Type interface {
+	// Size returns the number of data bytes (the packed stream length).
+	Size() int
+	// Extent returns the span of host memory the type covers.
+	Extent() int64
+	// Segments maps packed-stream range [off, off+n) to host segments,
+	// in stream order.
+	Segments(off int, n int) []Segment
+}
+
+// Contiguous is a flat run of bytes.
+type Contiguous struct{ N int }
+
+// Size implements Type.
+func (c Contiguous) Size() int { return c.N }
+
+// Extent implements Type.
+func (c Contiguous) Extent() int64 { return int64(c.N) }
+
+// Segments implements Type.
+func (c Contiguous) Segments(off, n int) []Segment {
+	if n <= 0 {
+		return nil
+	}
+	return []Segment{{Offset: int64(off), Length: n}}
+}
+
+// Vector is the MPI vector type: Count blocks of Blocksize bytes, the start
+// of consecutive blocks separated by Stride bytes (Stride >= Blocksize).
+type Vector struct {
+	Blocksize int
+	Stride    int
+	Count     int
+}
+
+// Validate reports whether the vector is well-formed.
+func (v Vector) Validate() error {
+	if v.Blocksize <= 0 || v.Count <= 0 {
+		return fmt.Errorf("datatype: blocksize and count must be positive: %+v", v)
+	}
+	if v.Stride < v.Blocksize {
+		return fmt.Errorf("datatype: stride %d smaller than blocksize %d", v.Stride, v.Blocksize)
+	}
+	return nil
+}
+
+// Size implements Type.
+func (v Vector) Size() int { return v.Blocksize * v.Count }
+
+// Extent implements Type.
+func (v Vector) Extent() int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return int64(v.Stride)*int64(v.Count-1) + int64(v.Blocksize)
+}
+
+// Segments implements Type. It mirrors the paper's ddtvec payload handler
+// (Appendix C.3.4): stream offsets map to (block, offset-in-block) pairs.
+func (v Vector) Segments(off, n int) []Segment {
+	if max := v.Size() - off; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil
+	}
+	var segs []Segment
+	for n > 0 {
+		block := off / v.Blocksize
+		inBlock := off % v.Blocksize
+		take := v.Blocksize - inBlock
+		if take > n {
+			take = n
+		}
+		segs = append(segs, Segment{
+			Offset: int64(block)*int64(v.Stride) + int64(inBlock),
+			Length: take,
+		})
+		off += take
+		n -= take
+	}
+	return segs
+}
+
+// Iovec is an explicit O(n) gather/scatter list, the representation used by
+// iovec-based interfaces the paper contrasts with (§5.2).
+type Iovec []Segment
+
+// Size implements Type.
+func (io Iovec) Size() int {
+	n := 0
+	for _, s := range io {
+		n += s.Length
+	}
+	return n
+}
+
+// Extent implements Type.
+func (io Iovec) Extent() int64 {
+	var ext int64
+	for _, s := range io {
+		if end := s.Offset + int64(s.Length); end > ext {
+			ext = end
+		}
+	}
+	return ext
+}
+
+// Segments implements Type.
+func (io Iovec) Segments(off, n int) []Segment {
+	var segs []Segment
+	for _, s := range io {
+		if n <= 0 {
+			break
+		}
+		if off >= s.Length {
+			off -= s.Length
+			continue
+		}
+		take := s.Length - off
+		if take > n {
+			take = n
+		}
+		segs = append(segs, Segment{Offset: s.Offset + int64(off), Length: take})
+		n -= take
+		off = 0
+	}
+	return segs
+}
+
+// FromVector converts a vector into its equivalent iovec.
+func FromVector(v Vector) Iovec {
+	io := make(Iovec, v.Count)
+	for i := range io {
+		io[i] = Segment{Offset: int64(i) * int64(v.Stride), Length: v.Blocksize}
+	}
+	return io
+}
+
+// Pack gathers the type's data from host (starting at start) into a packed
+// buffer.
+func Pack(host []byte, t Type, start int64) []byte {
+	out := make([]byte, 0, t.Size())
+	for _, s := range t.Segments(0, t.Size()) {
+		out = append(out, host[start+s.Offset:start+s.Offset+int64(s.Length)]...)
+	}
+	return out
+}
+
+// Unpack scatters stream bytes (which begin at packed offset streamOff)
+// into host memory laid out by the type starting at start.
+func Unpack(host []byte, t Type, start int64, stream []byte, streamOff int) {
+	pos := 0
+	for _, s := range t.Segments(streamOff, len(stream)) {
+		copy(host[start+s.Offset:], stream[pos:pos+s.Length])
+		pos += s.Length
+	}
+}

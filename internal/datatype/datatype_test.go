@@ -1,0 +1,172 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorSizeExtent(t *testing.T) {
+	v := Vector{Blocksize: 1536, Stride: 2560, Count: 8} // the Fig. 6 example
+	if v.Size() != 8*1536 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if v.Extent() != int64(2560*7+1536) {
+		t.Fatalf("Extent = %d", v.Extent())
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorValidate(t *testing.T) {
+	if err := (Vector{Blocksize: 0, Stride: 1, Count: 1}).Validate(); err == nil {
+		t.Fatal("zero blocksize accepted")
+	}
+	if err := (Vector{Blocksize: 8, Stride: 4, Count: 1}).Validate(); err == nil {
+		t.Fatal("stride < blocksize accepted")
+	}
+}
+
+func TestVectorSegmentsSpanBlocks(t *testing.T) {
+	v := Vector{Blocksize: 10, Stride: 25, Count: 4}
+	// Stream range [5, 25) covers the tail of block 0, all of block 1,
+	// and the head of block 2.
+	segs := v.Segments(5, 20)
+	want := []Segment{
+		{Offset: 5, Length: 5},
+		{Offset: 25, Length: 10},
+		{Offset: 50, Length: 5},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %+v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	c := Contiguous{N: 100}
+	segs := c.Segments(10, 50)
+	if len(segs) != 1 || segs[0].Offset != 10 || segs[0].Length != 50 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if c.Segments(0, 0) != nil {
+		t.Fatal("empty range should give no segments")
+	}
+}
+
+func TestIovecEquivalentToVector(t *testing.T) {
+	v := Vector{Blocksize: 7, Stride: 13, Count: 9}
+	io := FromVector(v)
+	if io.Size() != v.Size() || io.Extent() != v.Extent() {
+		t.Fatal("iovec size/extent mismatch")
+	}
+	for off := 0; off < v.Size(); off += 5 {
+		for _, n := range []int{1, 3, 11, v.Size() - off} {
+			a := v.Segments(off, n)
+			b := io.Segments(off, n)
+			if len(a) != len(b) {
+				t.Fatalf("off=%d n=%d: %v vs %v", off, n, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("off=%d n=%d seg %d: %+v vs %+v", off, n, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	v := Vector{Blocksize: 96, Stride: 160, Count: 12}
+	host := make([]byte, 64+v.Extent())
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(host)
+	packed := Pack(host, v, 64)
+	if len(packed) != v.Size() {
+		t.Fatalf("packed %d bytes, want %d", len(packed), v.Size())
+	}
+	dst := make([]byte, len(host))
+	Unpack(dst, v, 64, packed, 0)
+	repacked := Pack(dst, v, 64)
+	if !bytes.Equal(packed, repacked) {
+		t.Fatal("pack(unpack(x)) != x")
+	}
+}
+
+func TestUnpackPiecewiseMatchesWhole(t *testing.T) {
+	// Unpacking MTU-sized chunks independently (as payload handlers do,
+	// in any order) must equal unpacking the whole stream.
+	v := Vector{Blocksize: 1536, Stride: 2560 + 1536, Count: 64}
+	stream := make([]byte, v.Size())
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(stream)
+	whole := make([]byte, v.Extent())
+	Unpack(whole, v, 0, stream, 0)
+	piecewise := make([]byte, v.Extent())
+	const mtu = 4096
+	// Deliberately process chunks in reverse order: packets can be
+	// handled in any order (§5.2).
+	for off := ((len(stream) - 1) / mtu) * mtu; off >= 0; off -= mtu {
+		n := len(stream) - off
+		if n > mtu {
+			n = mtu
+		}
+		Unpack(piecewise, v, 0, stream[off:off+n], off)
+	}
+	if !bytes.Equal(whole, piecewise) {
+		t.Fatal("piecewise unpack differs from whole unpack")
+	}
+}
+
+// Property: for any vector and any split of the stream, segments tile the
+// stream exactly: lengths sum to n and consecutive segments never overlap
+// in host memory.
+func TestSegmentsTileProperty(t *testing.T) {
+	f := func(bs, gap, cnt, off, n uint8) bool {
+		v := Vector{
+			Blocksize: int(bs%64) + 1,
+			Count:     int(cnt%32) + 1,
+		}
+		v.Stride = v.Blocksize + int(gap%64)
+		size := v.Size()
+		o := int(off) % size
+		m := int(n) % (size - o + 1)
+		segs := v.Segments(o, m)
+		total := 0
+		for _, s := range segs {
+			if s.Length <= 0 || s.Offset < 0 || s.Offset+int64(s.Length) > v.Extent() {
+				return false
+			}
+			total += s.Length
+		}
+		return total == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pack/Unpack are inverses on the packed domain for random
+// vectors.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(bs, gap, cnt uint8, seed int64) bool {
+		v := Vector{Blocksize: int(bs%32) + 1, Count: int(cnt%16) + 1}
+		v.Stride = v.Blocksize + int(gap%32)
+		host := make([]byte, v.Extent())
+		rng := rand.New(rand.NewSource(seed))
+		rng.Read(host)
+		packed := Pack(host, v, 0)
+		dst := make([]byte, v.Extent())
+		Unpack(dst, v, 0, packed, 0)
+		return bytes.Equal(Pack(dst, v, 0), packed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package fattree models the paper's interconnect topology: a three-level
+// fat tree built from 36-port switches (§4.2). Latency between endpoints is
+// the sum of switch traversals (50 ns each, as measured on modern switches)
+// and wire delays (10 m of cable, 33.4 ns per hop).
+//
+// With radix k = 36 the tree has k pods; each pod holds k/2 edge switches
+// with k/2 hosts each, so the full system connects k³/4 = 11664 hosts:
+//
+//	same edge switch:  1 switch,  2 wires
+//	same pod:          3 switches, 4 wires
+//	different pods:    5 switches, 6 wires
+package fattree
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology describes a three-level fat tree built from fixed-radix switches.
+type Topology struct {
+	// Radix is the switch port count (36 in the paper).
+	Radix int
+	// SwitchDelay is the per-switch traversal time.
+	SwitchDelay sim.Time
+	// WireDelay is the per-hop cable delay.
+	WireDelay sim.Time
+}
+
+// Default returns the paper's topology: 36-port switches, 50 ns traversal,
+// 10 m wires (33.4 ns).
+func Default() *Topology {
+	return &Topology{
+		Radix:       36,
+		SwitchDelay: 50 * sim.Nanosecond,
+		WireDelay:   33400 * sim.Picosecond,
+	}
+}
+
+// HostsPerEdge returns the number of hosts attached to one edge switch.
+func (t *Topology) HostsPerEdge() int { return t.Radix / 2 }
+
+// EdgesPerPod returns the number of edge switches in a pod.
+func (t *Topology) EdgesPerPod() int { return t.Radix / 2 }
+
+// HostsPerPod returns the number of hosts in one pod.
+func (t *Topology) HostsPerPod() int { return t.HostsPerEdge() * t.EdgesPerPod() }
+
+// MaxHosts returns the number of hosts a three-level tree supports (k³/4).
+func (t *Topology) MaxHosts() int { return t.Radix * t.Radix * t.Radix / 4 }
+
+// Validate checks that ranks 0..n-1 fit in the topology.
+func (t *Topology) Validate(n int) error {
+	if n < 1 {
+		return fmt.Errorf("fattree: need at least one host, got %d", n)
+	}
+	if n > t.MaxHosts() {
+		return fmt.Errorf("fattree: %d hosts exceed capacity %d of radix-%d tree", n, t.MaxHosts(), t.Radix)
+	}
+	return nil
+}
+
+// Hops returns the number of switches and wires on the path between two
+// hosts. Hosts are assigned to edge switches in rank order.
+func (t *Topology) Hops(a, b int) (switches, wires int) {
+	if a == b {
+		return 0, 0
+	}
+	edgeA, edgeB := a/t.HostsPerEdge(), b/t.HostsPerEdge()
+	if edgeA == edgeB {
+		return 1, 2
+	}
+	podA, podB := a/t.HostsPerPod(), b/t.HostsPerPod()
+	if podA == podB {
+		return 3, 4
+	}
+	return 5, 6
+}
+
+// Latency returns the one-way network latency L between two hosts: the
+// LogGOPS L parameter, modelled per packet-switched hop. Loopback is free.
+func (t *Topology) Latency(a, b int) sim.Time {
+	s, w := t.Hops(a, b)
+	return sim.Time(s)*t.SwitchDelay + sim.Time(w)*t.WireDelay
+}
+
+// MaxLatency returns the inter-pod (worst-case) latency, the L used in the
+// paper's single-number LogP discussions.
+func (t *Topology) MaxLatency() sim.Time {
+	return 5*t.SwitchDelay + 6*t.WireDelay
+}

@@ -1,0 +1,102 @@
+package fattree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCapacity(t *testing.T) {
+	ft := Default()
+	if got := ft.MaxHosts(); got != 11664 {
+		t.Fatalf("MaxHosts = %d, want 11664 (36^3/4)", got)
+	}
+	if got := ft.HostsPerEdge(); got != 18 {
+		t.Fatalf("HostsPerEdge = %d, want 18", got)
+	}
+	if got := ft.HostsPerPod(); got != 324 {
+		t.Fatalf("HostsPerPod = %d, want 324", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ft := Default()
+	if err := ft.Validate(1024); err != nil {
+		t.Fatalf("Validate(1024) = %v", err)
+	}
+	if err := ft.Validate(0); err == nil {
+		t.Fatal("Validate(0) should fail")
+	}
+	if err := ft.Validate(11665); err == nil {
+		t.Fatal("Validate(11665) should fail")
+	}
+}
+
+func TestHops(t *testing.T) {
+	ft := Default()
+	cases := []struct {
+		a, b            int
+		switches, wires int
+		latNanosApprox  float64
+	}{
+		{0, 0, 0, 0, 0},
+		{0, 1, 1, 2, 116.8},   // same edge switch
+		{0, 17, 1, 2, 116.8},  // last host on same edge
+		{0, 18, 3, 4, 283.6},  // next edge switch, same pod
+		{0, 323, 3, 4, 283.6}, // last host in pod
+		{0, 324, 5, 6, 450.4}, // first host of next pod
+		{500, 9000, 5, 6, 450.4},
+	}
+	for _, c := range cases {
+		s, w := ft.Hops(c.a, c.b)
+		if s != c.switches || w != c.wires {
+			t.Errorf("Hops(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, s, w, c.switches, c.wires)
+		}
+		lat := ft.Latency(c.a, c.b).Nanoseconds()
+		if diff := lat - c.latNanosApprox; diff > 0.01 || diff < -0.01 {
+			t.Errorf("Latency(%d,%d) = %.1fns, want %.1fns", c.a, c.b, lat, c.latNanosApprox)
+		}
+	}
+}
+
+func TestMaxLatencyMatchesPaperModel(t *testing.T) {
+	// 5 switches * 50ns + 6 wires * 33.4ns = 450.4ns.
+	got := Default().MaxLatency()
+	want := 450400 * sim.Picosecond
+	if got != want {
+		t.Fatalf("MaxLatency = %v, want %v", got, want)
+	}
+}
+
+// Property: latency is symmetric and satisfies the identity of indiscernibles.
+func TestLatencySymmetryProperty(t *testing.T) {
+	ft := Default()
+	f := func(a, b uint16) bool {
+		x := int(a) % ft.MaxHosts()
+		y := int(b) % ft.MaxHosts()
+		lab, lba := ft.Latency(x, y), ft.Latency(y, x)
+		if lab != lba {
+			return false
+		}
+		if x == y {
+			return lab == 0
+		}
+		return lab > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving further away (edge -> pod -> inter-pod) never decreases
+// latency.
+func TestLatencyMonotoneInDistance(t *testing.T) {
+	ft := Default()
+	sameEdge := ft.Latency(0, 1)
+	samePod := ft.Latency(0, 18)
+	interPod := ft.Latency(0, 324)
+	if !(sameEdge < samePod && samePod < interPod) {
+		t.Fatalf("latencies not monotone: %v %v %v", sameEdge, samePod, interPod)
+	}
+}

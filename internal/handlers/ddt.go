@@ -1,0 +1,72 @@
+package handlers
+
+import (
+	"repro/internal/core"
+	"repro/internal/datatype"
+)
+
+// Strided-datatype handler state (Appendix C.3.4's ddtvec_info_t).
+const (
+	ddtOffset = 0  // base offset in the ME
+	ddtVlen   = 8  // block length (i->vlen)
+	ddtStride = 16 // gap between blocks (i->stride); period = vlen+stride
+	// DDTStateBytes is the HPU memory a datatype ME needs.
+	DDTStateBytes = 24
+)
+
+// DDTConfig describes the receive-side vector layout: count blocks of
+// Blocksize bytes placed every Blocksize+Gap bytes, starting at Offset.
+// This is the paper's ⟨start, stride, blocksize, count⟩ tuple with
+// stride = Blocksize + Gap.
+type DDTConfig struct {
+	Offset    int64
+	Blocksize int
+	Gap       int // i->stride in the paper's code
+}
+
+// InitDDTState writes the handler parameters into HPU memory, as the host
+// does when installing the ME.
+func InitDDTState(state []byte, cfg DDTConfig) {
+	putU64(state, ddtOffset, uint64(cfg.Offset))
+	putU64(state, ddtVlen, uint64(cfg.Blocksize))
+	putU64(state, ddtStride, uint64(cfg.Gap))
+}
+
+func putU64(b []byte, off int, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(v >> (8 * i))
+	}
+}
+
+// DDTVector builds the Appendix C.3.4 payload handler: each packet's bytes
+// are scattered into the strided layout with one DMA write per touched
+// block, computed from the packet's offset in the message — so packets
+// unpack independently, in any order, on any HPU (Fig. 6).
+func DDTVector() core.HandlerSet {
+	return core.HandlerSet{
+		Payload: func(c *core.Ctx, p core.Payload) core.PayloadRC {
+			base := int64(c.U64(ddtOffset))
+			vlen := int(c.U64(ddtVlen))
+			gap := int(c.U64(ddtStride))
+			v := datatype.Vector{Blocksize: vlen, Stride: vlen + gap, Count: 1 << 30}
+			pos := 0
+			for _, seg := range v.Segments(p.Offset, p.Size) {
+				// Segment-offset arithmetic: div/mod plus bounds checks
+				// (≈20 scalar cycles on the A15).
+				c.Charge(20)
+				var chunk []byte
+				if p.Data != nil {
+					chunk = p.Data[pos : pos+seg.Length]
+				} else {
+					chunk = zeroBuf[:seg.Length]
+				}
+				c.DMAToHostB(chunk, base+seg.Offset, core.MEHostMem)
+				pos += seg.Length
+			}
+			if c.Err() != nil {
+				return core.PayloadSegv
+			}
+			return core.PayloadSuccess
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package handlers
+
+import "repro/internal/core"
+
+// Fault-tolerant broadcast (§5.4): redundant copies of each broadcast
+// message travel along a binomial-graph topology so delivery survives up
+// to log2(P) failures. Usually every redundant copy is delivered to host
+// memory and deduplicated by the CPU; with sPIN the header handler
+// suppresses duplicates on the NIC, so only the first copy of each
+// sequence number reaches the user — "a transparent reliable broadcast
+// service offered by the network".
+//
+// HPU state layout: a ring of FTBcastWindow sequence slots; slot i holds
+// the last sequence number accepted with seq % window == i.
+const (
+	// FTBcastWindow is the dedup window in outstanding sequence numbers.
+	FTBcastWindow = 64
+	// FTBcastStateBytes is the HPU memory an FT-bcast ME needs.
+	FTBcastStateBytes = 8 * FTBcastWindow
+
+	ftSeqNever = ^uint64(0)
+)
+
+// InitFTBcastState marks all dedup slots empty; the host runs this before
+// appending the ME.
+func InitFTBcastState(state []byte) {
+	for i := 0; i < FTBcastWindow; i++ {
+		putU64(state, i*8, ftSeqNever)
+	}
+}
+
+// FTBcastConfig parameterizes the fault-tolerant broadcast handlers.
+type FTBcastConfig struct {
+	MyRank int
+	NProcs int
+	PT     int
+	Bits   uint64
+	// Redundancy is the number of binomial-graph neighbors each rank
+	// forwards every accepted message to.
+	Redundancy int
+}
+
+// Neighbors returns the binomial-graph neighbors (rank ± 2^k) that
+// forwarding targets, capped at the configured redundancy.
+func (cfg FTBcastConfig) Neighbors() []int {
+	var out []int
+	for k := 1; k < cfg.NProcs && len(out) < cfg.Redundancy; k *= 2 {
+		out = append(out, (cfg.MyRank+k)%cfg.NProcs)
+	}
+	return out
+}
+
+// FTBcast builds the dedup-and-forward handlers: the header handler
+// atomically claims the message's sequence slot in HPU memory; the first
+// copy is deposited and re-forwarded, every later copy is dropped on the
+// NIC without touching host memory. hdr_data carries the sequence number.
+func FTBcast(cfg FTBcastConfig) core.HandlerSet {
+	neighbors := cfg.Neighbors()
+	return core.HandlerSet{
+		Header: func(c *core.Ctx, h core.Header) core.HeaderRC {
+			seq := h.HdrData
+			slot := int64(seq%FTBcastWindow) * 8
+			// Atomic claim: only the first copy swaps the slot from its
+			// previous value to seq.
+			prev := c.U64(slot)
+			if prev == seq {
+				return core.Drop // duplicate: already delivered
+			}
+			if !c.CAS(slot, prev, seq) {
+				return core.Drop // lost the race to a concurrent copy
+			}
+			return core.ProcessData
+		},
+		Payload: func(c *core.Ctx, p core.Payload) core.PayloadRC {
+			data := dataOrZero(p)
+			var rc core.PayloadRC = core.PayloadSuccess
+			for _, n := range neighbors {
+				c.Charge(3)
+				if err := c.PutFromDevice(data, n, cfg.PT, cfg.Bits, int64(p.Offset), c.HdrData()); err != nil {
+					rc = core.PayloadFail
+				}
+			}
+			if p.Data != nil {
+				c.DMAToHostNB(p.Data, int64(p.Offset), core.MEHostMem)
+			}
+			return rc
+		},
+	}
+}

@@ -1,0 +1,84 @@
+package handlers
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// Graph kernels (§5.4 "Simple Graph Kernels"): distributed SSSP/BFS
+// traversals send batches of (vertex, tentative distance) updates across
+// node boundaries. The sPIN payload handler applies each update as an
+// atomic min against the distance array in host memory, discarding the
+// message afterwards — the batch is never stored, loaded, and re-discarded
+// by the host CPU.
+
+// GraphUpdateBytes is the wire size of one update record.
+const GraphUpdateBytes = 16
+
+// EncodeGraphUpdate appends one (vertex, distance) update to buf.
+func EncodeGraphUpdate(buf []byte, vertex, dist uint64) []byte {
+	var rec [GraphUpdateBytes]byte
+	binary.LittleEndian.PutUint64(rec[:], vertex)
+	binary.LittleEndian.PutUint64(rec[8:], dist)
+	return append(buf, rec[:]...)
+}
+
+// GraphStats offsets in HPU state.
+const (
+	graphStatApplied = 0 // updates that lowered a distance
+	graphStatStale   = 8 // updates that lost the min race
+	// GraphStateBytes is the HPU memory a graph ME needs.
+	GraphStateBytes = 16
+)
+
+// GraphApplied reads the applied-update counter from HPU state.
+func GraphApplied(state []byte) uint64 {
+	return binary.LittleEndian.Uint64(state[graphStatApplied:])
+}
+
+// GraphSSSP builds the relaxation handler: the ME's host memory is the
+// distance array (u64 per vertex, little-endian); every update performs
+// dist[v] = min(dist[v], d) with a bounded CAS loop over the DMA bus.
+func GraphSSSP(numVertices int) core.HandlerSet {
+	return core.HandlerSet{
+		Payload: func(c *core.Ctx, p core.Payload) core.PayloadRC {
+			if p.Data == nil {
+				// Timing-only replay: charge the scan and the expected
+				// one atomic per record.
+				n := p.Size / GraphUpdateBytes
+				c.ChargePerByteMilli(p.Size, core.MilliCyclesPerByteScan)
+				for i := 0; i < n; i++ {
+					c.DMAFetchAdd(0, 0, core.MEHostMem)
+				}
+				return core.PayloadDrop
+			}
+			for i := 0; i+GraphUpdateBytes <= p.Size; i += GraphUpdateBytes {
+				c.Charge(6) // decode record, bounds check
+				v := binary.LittleEndian.Uint64(p.Data[i:])
+				d := binary.LittleEndian.Uint64(p.Data[i+8:])
+				if v >= uint64(numVertices) {
+					return core.PayloadSegv
+				}
+				off := int64(v * 8)
+				applied := false
+				for try := 0; try < 4; try++ {
+					cur := c.DMAFetchAdd(off, 0, core.MEHostMem) // atomic read
+					if d >= cur {
+						break // stale update
+					}
+					if _, swapped := c.DMACAS(off, cur, d, core.MEHostMem); swapped {
+						applied = true
+						break
+					}
+				}
+				if applied {
+					c.FAdd(graphStatApplied, 1)
+				} else {
+					c.FAdd(graphStatStale, 1)
+				}
+			}
+			return core.PayloadDrop // batches are consumed, never deposited
+		},
+	}
+}

@@ -1,0 +1,25 @@
+// Package handlers is the sPIN handler library: Go transcriptions of every
+// handler in the paper's Appendix C.3 (ping-pong, accumulate, binomial
+// broadcast, strided datatypes, RAID/Reed-Solomon) plus the §5.4 use cases
+// (key-value store insert, conditional read, graph updates, transaction
+// logging). Handlers mirror the published C code and charge the calibrated
+// instruction costs of internal/core/costs.go.
+package handlers
+
+import "repro/internal/core"
+
+// zeroBuf backs timing-only packets (Msg.Data == nil) so handlers that
+// forward payloads have bytes to hand to PutFromDevice.
+var zeroBuf = make([]byte, 1<<16)
+
+// dataOrZero returns the packet payload, or a zero-filled stand-in of the
+// right size for timing-only simulations.
+func dataOrZero(p core.Payload) []byte {
+	if p.Data != nil {
+		return p.Data
+	}
+	if p.Size <= len(zeroBuf) {
+		return zeroBuf[:p.Size]
+	}
+	return make([]byte, p.Size)
+}

@@ -1,0 +1,574 @@
+package handlers
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datatype"
+	"repro/internal/netsim"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// world creates an n-node cluster with portals NIs.
+func world(t *testing.T, n int) (*netsim.Cluster, []*portals.NI) {
+	t.Helper()
+	c, err := netsim.NewCluster(n, netsim.Integrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, portals.Setup(c)
+}
+
+func mustPT(t *testing.T, ni *portals.NI, idx int) {
+	t.Helper()
+	if _, err := ni.PTAlloc(idx, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustAppend(t *testing.T, ni *portals.NI, pt int, me *portals.ME) {
+	t.Helper()
+	if err := ni.MEAppend(pt, me, portals.PriorityList); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hpuMem(t *testing.T, ni *portals.NI, n int) *core.HPUMem {
+	t.Helper()
+	m, err := ni.RT.AllocHPUMem(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPingPongStreamEchoesData(t *testing.T) {
+	c, nis := world(t, 2)
+	// Responder: ME with streaming ping-pong handlers.
+	mustPT(t, nis[1], 0)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     make([]byte, 1<<20),
+		MatchBits: 10,
+		HPUMem:    hpuMem(t, nis[1], PingPongStateBytes),
+		Handlers:  PingPong(PingPongConfig{ReplyPT: 0, ReplyBits: 10, Streaming: true, MaxSize: 1 << 30}),
+	})
+	// Initiator: plain ME collecting the pong.
+	mustPT(t, nis[0], 0)
+	pong := make([]byte, 1<<20)
+	eq := portals.NewEQ(c.Eng)
+	ct := portals.NewCT(c.Eng)
+	mustAppend(t, nis[0], 0, &portals.ME{Start: pong, MatchBits: 10, EQ: eq, CT: ct})
+
+	ping := make([]byte, 20000)
+	for i := range ping {
+		ping[i] = byte(i * 13)
+	}
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(ping, nil, nil), Length: len(ping), Target: 1, PTIndex: 0, MatchBits: 10})
+	c.Eng.Run()
+	if !bytes.Equal(pong[:len(ping)], ping) {
+		t.Fatal("stream pong content mismatch")
+	}
+	// Streaming splits the reply into one message per packet.
+	wantMsgs := c.P.Packets(len(ping))
+	if got := int(ct.Get()); got != wantMsgs {
+		t.Fatalf("pong arrived as %d messages, want %d", got, wantMsgs)
+	}
+}
+
+func TestPingPongStoreSmallRepliesFromDevice(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     make([]byte, 8192),
+		MatchBits: 10,
+		HPUMem:    hpuMem(t, nis[1], PingPongStateBytes),
+		Handlers:  PingPong(PingPongConfig{ReplyPT: 0, ReplyBits: 10, Streaming: true, MaxSize: c.P.MTU}),
+	})
+	mustPT(t, nis[0], 0)
+	pong := make([]byte, 8192)
+	ct := portals.NewCT(c.Eng)
+	mustAppend(t, nis[0], 0, &portals.ME{Start: pong, MatchBits: 10, CT: ct})
+	ping := bytes.Repeat([]byte{0x5c}, 64)
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(ping, nil, nil), Length: 64, Target: 1, PTIndex: 0, MatchBits: 10})
+	c.Eng.Run()
+	if !bytes.Equal(pong[:64], ping) {
+		t.Fatal("store pong content mismatch")
+	}
+	if ct.Get() != 1 {
+		t.Fatalf("pong messages = %d, want 1", ct.Get())
+	}
+}
+
+func TestPingPongStoreLargeRepliesFromHost(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	respBuf := make([]byte, 1<<20)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     respBuf,
+		MatchBits: 10,
+		HPUMem:    hpuMem(t, nis[1], PingPongStateBytes),
+		Handlers:  PingPong(PingPongConfig{ReplyPT: 0, ReplyBits: 10, Streaming: true, MaxSize: c.P.MTU}),
+	})
+	mustPT(t, nis[0], 0)
+	pong := make([]byte, 1<<20)
+	ct := portals.NewCT(c.Eng)
+	mustAppend(t, nis[0], 0, &portals.ME{Start: pong, MatchBits: 10, CT: ct})
+	ping := make([]byte, 3*4096)
+	for i := range ping {
+		ping[i] = byte(i * 31)
+	}
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(ping, nil, nil), Length: len(ping), Target: 1, PTIndex: 0, MatchBits: 10})
+	c.Eng.Run()
+	// Store mode: ping deposited at the responder, pong sent as one
+	// message from host memory.
+	if !bytes.Equal(respBuf[:len(ping)], ping) {
+		t.Fatal("ping not deposited at responder")
+	}
+	if !bytes.Equal(pong[:len(ping)], ping) {
+		t.Fatal("host-path pong content mismatch")
+	}
+	if ct.Get() != 1 {
+		t.Fatalf("pong messages = %d, want 1", ct.Get())
+	}
+}
+
+func cplxArray(vals ...complex128) []byte {
+	out := make([]byte, 16*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*16:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(out[i*16+8:], math.Float64bits(imag(v)))
+	}
+	return out
+}
+
+func readCplx(b []byte, i int) complex128 {
+	re := math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))
+	im := math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:]))
+	return complex(re, im)
+}
+
+func TestAccumulateMultipliesIntoHostMemory(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	dst := cplxArray(1+2i, 3+4i, 5-1i, -2+0.5i)
+	hostMem := make([]byte, 4096)
+	copy(hostMem[256:], dst)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     hostMem,
+		MatchBits: 2,
+		HPUMem:    hpuMem(t, nis[1], AccumulateStateBytes),
+		Handlers:  Accumulate(AccumulateConfig{Offset: 256}),
+	})
+	src := cplxArray(2+0i, 1+1i, 0+1i, -1-1i)
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(src, nil, nil), Length: len(src), Target: 1, PTIndex: 0, MatchBits: 2})
+	c.Eng.Run()
+	want := []complex128{(1 + 2i) * 2, (3 + 4i) * (1 + 1i), (5 - 1i) * 1i, (-2 + 0.5i) * (-1 - 1i)}
+	for i, w := range want {
+		got := readCplx(hostMem[256:], i)
+		if cmplxAbs(got-w) > 1e-12 {
+			t.Fatalf("element %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func cmplxAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}
+
+func TestAccumulateMultiPacketUsesMultipleHPUs(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	n := 4 * 4096 // 4 packets
+	host := make([]byte, n)
+	ones := make([]byte, n)
+	for i := 0; i < n/16; i++ {
+		binary.LittleEndian.PutUint64(ones[i*16:], math.Float64bits(1))
+		binary.LittleEndian.PutUint64(host[i*16:], math.Float64bits(float64(i)))
+	}
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     host,
+		MatchBits: 2,
+		HPUMem:    hpuMem(t, nis[1], AccumulateStateBytes),
+		Handlers:  Accumulate(AccumulateConfig{}),
+	})
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(ones, nil, nil), Length: n, Target: 1, PTIndex: 0, MatchBits: 2})
+	c.Eng.Run()
+	// Multiplying by 1+0i leaves values unchanged.
+	for i := 0; i < n/16; i++ {
+		if got := math.Float64frombits(binary.LittleEndian.Uint64(host[i*16:])); got != float64(i) {
+			t.Fatalf("element %d = %v", i, got)
+		}
+	}
+	// The 4 packets should have spread across more than one HPU.
+	busy := 0
+	for h := 0; h < nis[1].RT.HPUs.Size(); h++ {
+		if nis[1].RT.HPUs.Server(h).Busy > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d HPUs used for 4-packet accumulate", busy)
+	}
+}
+
+// buildBcast wires P ranks with broadcast MEs and returns their buffers.
+func buildBcast(t *testing.T, c *netsim.Cluster, nis []*portals.NI, size int, streaming bool) [][]byte {
+	t.Helper()
+	bufs := make([][]byte, len(nis))
+	for r, ni := range nis {
+		mustPT(t, ni, 0)
+		bufs[r] = make([]byte, size)
+		maxSize := c.P.MTU
+		if streaming {
+			maxSize = 1 << 30
+		}
+		mustAppend(t, ni, 0, &portals.ME{
+			Start:     bufs[r],
+			MatchBits: 7,
+			HPUMem:    hpuMem(t, ni, BcastStateBytes),
+			Handlers: Bcast(BcastConfig{
+				MyRank: r, NProcs: len(nis), PT: 0, Bits: 7,
+				Streaming: true, MaxSize: maxSize,
+			}),
+		})
+	}
+	return bufs
+}
+
+func TestBcastStreamReachesAllRanks(t *testing.T) {
+	const P = 16
+	c, nis := world(t, P)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 11)
+	}
+	bufs := buildBcast(t, c, nis, len(data), true)
+	// Root (rank 0) seeds its binomial children from the host.
+	md := nis[0].MDBind(data, nil, nil)
+	for half := P / 2; half >= 1; half /= 2 {
+		nis[0].Put(0, portals.PutArgs{MD: md, Length: len(data), Target: half, PTIndex: 0, MatchBits: 7})
+	}
+	c.Eng.Run()
+	for r := 1; r < P; r++ {
+		if !bytes.Equal(bufs[r], data) {
+			t.Fatalf("rank %d did not receive the broadcast", r)
+		}
+	}
+}
+
+func TestBcastStoreReachesAllRanks(t *testing.T) {
+	const P = 8
+	c, nis := world(t, P)
+	data := make([]byte, 3*4096) // multi-packet: store path via host
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	bufs := buildBcast(t, c, nis, len(data), false)
+	md := nis[0].MDBind(data, nil, nil)
+	for half := P / 2; half >= 1; half /= 2 {
+		nis[0].Put(0, portals.PutArgs{MD: md, Length: len(data), Target: half, PTIndex: 0, MatchBits: 7})
+	}
+	c.Eng.Run()
+	for r := 1; r < P; r++ {
+		if !bytes.Equal(bufs[r], data) {
+			t.Fatalf("rank %d did not receive the store-mode broadcast", r)
+		}
+	}
+}
+
+func TestDDTVectorUnpacksStridedLayout(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	cfg := DDTConfig{Offset: 128, Blocksize: 1536, Gap: 1536} // stride = 2*blocksize
+	count := 16
+	v := datatype.Vector{Blocksize: cfg.Blocksize, Stride: cfg.Blocksize + cfg.Gap, Count: count}
+	host := make([]byte, 128+int(v.Extent()))
+	hm := hpuMem(t, nis[1], DDTStateBytes)
+	InitDDTState(hm.Buf, cfg)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     host,
+		MatchBits: 4,
+		HPUMem:    hm,
+		Handlers:  DDTVector(),
+	})
+	packed := make([]byte, v.Size())
+	for i := range packed {
+		packed[i] = byte(i*7 + 1)
+	}
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(packed, nil, nil), Length: len(packed), Target: 1, PTIndex: 0, MatchBits: 4})
+	c.Eng.Run()
+	want := make([]byte, len(host))
+	datatype.Unpack(want, v, 128, packed, 0)
+	if !bytes.Equal(host, want) {
+		t.Fatal("strided unpack differs from reference Unpack")
+	}
+}
+
+func TestRaidWriteUpdatesParityAndAcks(t *testing.T) {
+	// Ranks: 0 = client, 1 = parity, 2 = data server.
+	c, nis := world(t, 3)
+	const blockBytes = 8192
+	// Data server: block storage + write handlers + ack forwarder.
+	mustPT(t, nis[2], 0) // writes
+	mustPT(t, nis[2], 2) // parity acks
+	dataMem := make([]byte, blockBytes)
+	for i := range dataMem {
+		dataMem[i] = byte(i % 7)
+	}
+	old := append([]byte(nil), dataMem...)
+	mustAppend(t, nis[2], 0, &portals.ME{
+		Start:     dataMem,
+		MatchBits: 1,
+		HPUMem:    hpuMem(t, nis[2], RaidStateBytes),
+		Handlers:  RaidPrimaryWrite(RaidPrimaryConfig{ParityRank: 1, ParityPT: 1, AckPT: 3}),
+	})
+	mustAppend(t, nis[2], 2, &portals.ME{
+		Start:      make([]byte, 8),
+		IgnoreBits: ^uint64(0),
+		HPUMem:     hpuMem(t, nis[2], 8),
+		Handlers:   RaidAckForward(3),
+	})
+	// Parity server.
+	mustPT(t, nis[1], 1)
+	parityMem := make([]byte, blockBytes)
+	oldParity := append([]byte(nil), parityMem...)
+	mustAppend(t, nis[1], 1, &portals.ME{
+		Start:     parityMem,
+		MatchBits: ParityTag,
+		HPUMem:    hpuMem(t, nis[1], RaidStateBytes),
+		Handlers:  RaidParityUpdate(RaidParityConfig{AckPT: 2, AckBits: 30}),
+	})
+	// Client ack ME.
+	mustPT(t, nis[0], 3)
+	ackCT := portals.NewCT(c.Eng)
+	mustAppend(t, nis[0], 3, &portals.ME{
+		Start: make([]byte, 64), IgnoreBits: ^uint64(0), CT: ackCT, ManageLocal: true,
+	})
+	// Client writes new data to the data server.
+	newData := make([]byte, blockBytes)
+	for i := range newData {
+		newData[i] = byte(i % 13)
+	}
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(newData, nil, nil), Length: blockBytes, Target: 2, PTIndex: 0, MatchBits: 1})
+	c.Eng.Run()
+
+	if !bytes.Equal(dataMem, newData) {
+		t.Fatal("data server does not hold the new block")
+	}
+	// Parity must now be oldParity ^ old ^ new.
+	want := make([]byte, blockBytes)
+	for i := range want {
+		want[i] = oldParity[i] ^ old[i] ^ newData[i]
+	}
+	if !bytes.Equal(parityMem, want) {
+		t.Fatal("parity block incorrect")
+	}
+	if ackCT.Get() == 0 {
+		t.Fatal("client never received the ack")
+	}
+}
+
+func TestKVInsertAndLookup(t *testing.T) {
+	c, nis := world(t, 2)
+	const buckets = 64
+	mustPT(t, nis[1], 0)
+	heap := make([]byte, 1<<20)
+	index := make([]byte, 8+buckets*8)
+	KVInitIndex(index)
+	hm := hpuMem(t, nis[1], KVStateBytes)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:          heap,
+		IgnoreBits:     ^uint64(0),
+		HPUMem:         hm,
+		HandlerHostMem: index,
+		Handlers:       KVInsert(buckets),
+	})
+	type kv struct{ k, v string }
+	pairs := []kv{
+		{"alpha", "1"}, {"beta", "two"}, {"gamma", "333"},
+		{"collide-a", "A"}, {"collide-b", "B"}, // force same bucket below
+	}
+	bucketOf := func(k string) uint32 {
+		if len(k) > 7 && k[:7] == "collide" {
+			return 5
+		}
+		h := uint32(2166136261)
+		for i := 0; i < len(k); i++ {
+			h = (h ^ uint32(k[i])) * 16777619
+		}
+		return h % buckets
+	}
+	for _, p := range pairs {
+		payload := append([]byte(p.k), []byte(p.v)...)
+		nis[0].Put(c.Eng.Now(), portals.PutArgs{
+			MD: nis[0].MDBind(payload, nil, nil), Length: len(payload),
+			Target: 1, PTIndex: 0,
+			UserHdr: EncodeKVUserHdr(KVUserHdr{Bucket: bucketOf(p.k), KeyLen: uint32(len(p.k))}),
+		})
+		c.Eng.Run()
+	}
+	for _, p := range pairs {
+		got := KVLookup(index, heap, buckets, bucketOf(p.k), []byte(p.k))
+		if string(got) != p.v {
+			t.Fatalf("lookup(%q) = %q, want %q", p.k, got, p.v)
+		}
+	}
+	if KVInserts(hm.Buf) != uint64(len(pairs)) {
+		t.Fatalf("insert counter = %d, want %d", KVInserts(hm.Buf), len(pairs))
+	}
+	if KVInsertDeferred(hm.Buf) != 0 {
+		t.Fatalf("deferred = %d, want 0", KVInsertDeferred(hm.Buf))
+	}
+}
+
+func TestFilterRepliesOnlyMatches(t *testing.T) {
+	c, nis := world(t, 2)
+	const recSize = 64
+	const numRecs = 256
+	// Server table: key at offset 0 of each record.
+	table := make([]byte, recSize*numRecs)
+	var wantMatches []byte
+	for i := 0; i < numRecs; i++ {
+		key := uint64(i % 10)
+		binary.LittleEndian.PutUint64(table[i*recSize:], key)
+		table[i*recSize+8] = byte(i)
+		if key == 3 {
+			wantMatches = append(wantMatches, table[i*recSize:(i+1)*recSize]...)
+		}
+	}
+	mustPT(t, nis[1], 0)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:      table,
+		IgnoreBits: ^uint64(0),
+		HPUMem:     hpuMem(t, nis[1], 8),
+		Handlers:   Filter(1),
+	})
+	// Client reply ME: locally managed so multiple reply packets pack.
+	mustPT(t, nis[0], 1)
+	replies := make([]byte, len(table))
+	ct := portals.NewCT(c.Eng)
+	replyME := &portals.ME{Start: replies, IgnoreBits: ^uint64(0), ManageLocal: true, CT: ct}
+	mustAppend(t, nis[0], 1, replyME)
+	nis[0].Put(0, portals.PutArgs{
+		Length: 0, Target: 1, PTIndex: 0, MatchBits: 77,
+		UserHdr: EncodeFilterRequest(FilterRequest{
+			Key: 3, RecordSize: recSize, KeyOffset: 0, Offset: 0, Length: uint64(len(table)),
+		}),
+	})
+	c.Eng.Run()
+	got := replies[:replyME.LocalOffset()]
+	if !bytes.Equal(got, wantMatches) {
+		t.Fatalf("filter returned %d bytes, want %d", len(got), len(wantMatches))
+	}
+	if len(got)%recSize != 0 {
+		t.Fatal("reply not a whole number of records")
+	}
+}
+
+func TestGraphSSSPAppliesAtomicMin(t *testing.T) {
+	c, nis := world(t, 2)
+	const V = 128
+	dist := make([]byte, V*8)
+	for i := 0; i < V; i++ {
+		binary.LittleEndian.PutUint64(dist[i*8:], math.MaxUint64)
+	}
+	mustPT(t, nis[1], 0)
+	hm := hpuMem(t, nis[1], GraphStateBytes)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:      dist,
+		IgnoreBits: ^uint64(0),
+		HPUMem:     hm,
+		Handlers:   GraphSSSP(V),
+	})
+	var batch []byte
+	batch = EncodeGraphUpdate(batch, 5, 100)
+	batch = EncodeGraphUpdate(batch, 5, 50) // lower: applies
+	batch = EncodeGraphUpdate(batch, 5, 80) // stale
+	batch = EncodeGraphUpdate(batch, 9, 7)
+	nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(batch, nil, nil), Length: len(batch), Target: 1, PTIndex: 0})
+	c.Eng.Run()
+	if got := binary.LittleEndian.Uint64(dist[5*8:]); got != 50 {
+		t.Fatalf("dist[5] = %d, want 50", got)
+	}
+	if got := binary.LittleEndian.Uint64(dist[9*8:]); got != 7 {
+		t.Fatalf("dist[9] = %d, want 7", got)
+	}
+	if GraphApplied(hm.Buf) != 3 {
+		t.Fatalf("applied = %d, want 3", GraphApplied(hm.Buf))
+	}
+	// Distance array was never treated as a deposit target.
+	for i := 0; i < V; i++ {
+		if i == 5 || i == 9 {
+			continue
+		}
+		if binary.LittleEndian.Uint64(dist[i*8:]) != math.MaxUint64 {
+			t.Fatalf("dist[%d] clobbered", i)
+		}
+	}
+}
+
+func TestTransLogRecordsAccesses(t *testing.T) {
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	data := make([]byte, 4096)
+	logMem := make([]byte, 4096)
+	TransLogInit(logMem)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:          data,
+		IgnoreBits:     ^uint64(0),
+		HPUMem:         hpuMem(t, nis[1], 8),
+		HandlerHostMem: logMem,
+		Handlers:       TransLog(),
+	})
+	payload := bytes.Repeat([]byte{1}, 100)
+	md := nis[0].MDBind(payload, nil, nil)
+	nis[0].Put(0, portals.PutArgs{MD: md, Length: 100, Target: 1, PTIndex: 0, RemoteOffset: 0})
+	nis[0].Put(0, portals.PutArgs{MD: md, Length: 50, Target: 1, PTIndex: 0, RemoteOffset: 512})
+	c.Eng.Run()
+	recs := DecodeTransLog(logMem)
+	if len(recs) != 2 {
+		t.Fatalf("log has %d records, want 2", len(recs))
+	}
+	if recs[0].Length != 100 || recs[1].Length != 50 || recs[1].Offset != 512 {
+		t.Fatalf("records = %+v", recs)
+	}
+	// The data path proceeded normally.
+	if !bytes.Equal(data[:100], payload) || !bytes.Equal(data[512:562], payload[:50]) {
+		t.Fatal("introspected puts not deposited")
+	}
+}
+
+func TestStreamingAvoidsHostMemoryTraffic(t *testing.T) {
+	// The headline sPIN property (§4.4.1): a streamed multi-packet
+	// ping-pong moves zero bytes over the responder's memory bus, while
+	// the RDMA path moves the full message.
+	run := func(stream bool) uint64 {
+		c, nis := world(t, 2)
+		mustPT(t, nis[1], 0)
+		maxSize := 1 << 30
+		mustAppend(t, nis[1], 0, &portals.ME{
+			Start:     make([]byte, 1<<20),
+			MatchBits: 10,
+			HPUMem:    hpuMem(t, nis[1], PingPongStateBytes),
+			Handlers:  PingPong(PingPongConfig{ReplyPT: 0, ReplyBits: 10, Streaming: stream, MaxSize: maxSize}),
+		})
+		mustPT(t, nis[0], 0)
+		mustAppend(t, nis[0], 0, &portals.ME{Start: make([]byte, 1<<20), MatchBits: 10})
+		ping := make([]byte, 64*1024)
+		nis[0].Put(0, portals.PutArgs{MD: nis[0].MDBind(ping, nil, nil), Length: len(ping), Target: 1, PTIndex: 0, MatchBits: 10})
+		c.Eng.Run()
+		return nis[1].Node.Bus.BytesMoved
+	}
+	if moved := run(true); moved != 0 {
+		t.Fatalf("streaming ping-pong moved %d bytes over the responder bus", moved)
+	}
+	if moved := run(false); moved < 64*1024 {
+		t.Fatalf("store ping-pong moved only %d bytes", moved)
+	}
+}
+
+var _ = sim.Nanosecond // keep the import for helpers below

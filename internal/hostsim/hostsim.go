@@ -1,0 +1,89 @@
+// Package hostsim models the host CPU of §4.2 — eight 2.5 GHz cores with
+// 51 ns DRAM latency and 150 GiB/s memory bandwidth — as seen by the
+// communication protocols: polling completion queues, matching, copying
+// unexpected messages, and unpacking datatypes. All work is subject to
+// optional OS noise, which is what makes CPU-driven protocols (RDMA
+// baselines) noise-sensitive while NIC-offloaded ones are not.
+package hostsim
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+// StridedCopyFemtoPerByte is the effective cost of a strided (non-
+// contiguous destination) copy on the host: scattered writes defeat the
+// prefetcher and write-combining, landing near 11.4 GiB/s end to end —
+// the flat RDMA line of Fig. 7a.
+const StridedCopyFemtoPerByte = 85000 // 85 ps/B
+
+// KernelFemtoPerByte is the per-pass cost of a CPU read-modify-write
+// kernel (XOR, complex multiply): latency-bound loops reach ~20 GB/s per
+// pass rather than raw DRAM stream bandwidth, matching the slow host-side
+// protocol processing the paper's gem5 baselines exhibit (§5.3).
+const KernelFemtoPerByte = 50000 // 50 ps/B
+
+// CPU wraps one node's cores with the paper's host-side cost model.
+type CPU struct {
+	Node  *netsim.Node
+	P     *netsim.Params
+	Noise *noise.Model
+}
+
+// New returns the CPU view of a node.
+func New(c *netsim.Cluster, rank int, nz *noise.Model) *CPU {
+	return &CPU{Node: c.Nodes[rank], P: &c.P, Noise: nz}
+}
+
+// Exec runs d of CPU work starting no earlier than now on the least-loaded
+// core, inflated by noise, and returns the completion time.
+func (c *CPU) Exec(now sim.Time, d sim.Time) sim.Time {
+	idx, start := c.Node.Cores.AcquireAny(now, 0)
+	end := c.Noise.Inflate(start, d)
+	c.Node.Cores.ExtendReservation(idx, end)
+	return end
+}
+
+// PollMatch models discovering a completion and matching the message on
+// the CPU: one poll plus one priority-list probe.
+func (c *CPU) PollMatch(now sim.Time) sim.Time {
+	return c.Exec(now, c.P.HostPollCost+c.P.HostMatchPerEntry)
+}
+
+// MatchWalk models a matching search that probes n list entries (long
+// unexpected queues make this expensive).
+func (c *CPU) MatchWalk(now sim.Time, n int) sim.Time {
+	if n < 1 {
+		n = 1
+	}
+	return c.Exec(now, c.P.HostPollCost+sim.Time(n)*c.P.HostMatchPerEntry)
+}
+
+// Copy models a contiguous memcpy of n bytes: one read and one write pass
+// over DRAM plus the first-touch latency.
+func (c *CPU) Copy(now sim.Time, n int) sim.Time {
+	return c.Exec(now, c.P.DRAMLatency+c.P.MemCopy(n))
+}
+
+// Touch models one pass (read or write) over n bytes.
+func (c *CPU) Touch(now sim.Time, n int) sim.Time {
+	return c.Exec(now, c.P.DRAMLatency+c.P.MemTouch(n))
+}
+
+// Passes models k full passes over n bytes (e.g. the accumulate baseline's
+// two reads and two writes, §4.4.2).
+func (c *CPU) Passes(now sim.Time, n, k int) sim.Time {
+	return c.Exec(now, c.P.DRAMLatency+sim.Time(k)*c.P.MemTouch(n))
+}
+
+// StridedCopy models unpacking n bytes into a strided layout (§5.2).
+func (c *CPU) StridedCopy(now sim.Time, n int) sim.Time {
+	return c.Exec(now, c.P.DRAMLatency+sim.Time(int64(n)*StridedCopyFemtoPerByte/1000))
+}
+
+// KernelPasses models k passes of a compute kernel (XOR, accumulate) over
+// n bytes at the CPU's RMW-kernel bandwidth.
+func (c *CPU) KernelPasses(now sim.Time, n, k int) sim.Time {
+	return c.Exec(now, c.P.DRAMLatency+sim.Time(int64(k)*int64(n)*KernelFemtoPerByte/1000))
+}

@@ -1,0 +1,115 @@
+package hostsim
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+func cpu(t *testing.T, nz *noise.Model) *CPU {
+	t.Helper()
+	c, err := netsim.NewCluster(2, netsim.Integrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(c, 1, nz)
+}
+
+func TestExecUsesLeastLoadedCore(t *testing.T) {
+	c := cpu(t, nil)
+	// Eight cores: eight concurrent tasks all start immediately.
+	var ends []sim.Time
+	for i := 0; i < 8; i++ {
+		ends = append(ends, c.Exec(0, 100*sim.Nanosecond))
+	}
+	for _, e := range ends {
+		if e != 100*sim.Nanosecond {
+			t.Fatalf("eight tasks on eight cores should all end at 100ns: %v", ends)
+		}
+	}
+	// The ninth queues behind one of them.
+	if e := c.Exec(0, 100*sim.Nanosecond); e != 200*sim.Nanosecond {
+		t.Fatalf("ninth task ends at %v, want 200ns", e)
+	}
+}
+
+func TestPollMatchCost(t *testing.T) {
+	c := cpu(t, nil)
+	end := c.PollMatch(0)
+	want := c.P.HostPollCost + c.P.HostMatchPerEntry
+	if end != want {
+		t.Fatalf("PollMatch = %v, want %v", end, want)
+	}
+}
+
+func TestMatchWalkScalesWithQueue(t *testing.T) {
+	c := cpu(t, nil)
+	short := c.MatchWalk(0, 1)
+	long := c.MatchWalk(0, 100) - short // second call starts after first
+	if long <= short {
+		t.Fatalf("long walk %v not slower than short %v", long, short)
+	}
+	if got := c.MatchWalk(c.Exec(0, 0), 0); got <= 0 {
+		t.Fatal("zero-entry walk should still cost a poll")
+	}
+}
+
+func TestCopyBandwidth(t *testing.T) {
+	c := cpu(t, nil)
+	n := 1 << 20
+	end := c.Copy(0, n)
+	// Two passes at 150 GiB/s plus DRAM latency: ~14 us for 1 MiB.
+	lo, hi := 10*sim.Microsecond, 20*sim.Microsecond
+	if end < lo || end > hi {
+		t.Fatalf("1 MiB copy = %v, want in [%v, %v]", end, lo, hi)
+	}
+	// Touch is about half a copy.
+	touch := c.Touch(c.Exec(0, 0), n) - end
+	if touch >= end {
+		t.Fatalf("single pass %v not cheaper than copy %v", touch, end)
+	}
+}
+
+func TestKernelSlowerThanCopy(t *testing.T) {
+	c := cpu(t, nil)
+	n := 1 << 18
+	copyEnd := c.Copy(0, n)
+	kernelEnd := c.KernelPasses(copyEnd, n, 2) - copyEnd
+	if kernelEnd <= copyEnd {
+		t.Fatalf("2-pass RMW kernel (%v) should be slower than 2-pass memcpy (%v)", kernelEnd, copyEnd)
+	}
+}
+
+func TestPassesScaleLinearly(t *testing.T) {
+	c := cpu(t, nil)
+	one := c.Passes(0, 1<<20, 1)
+	four := c.Passes(one, 1<<20, 4) - one
+	ratio := float64(four-c.P.DRAMLatency) / float64(one-c.P.DRAMLatency)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4 passes / 1 pass = %.2f, want ~4", ratio)
+	}
+}
+
+func TestStridedCopySlowerThanContiguous(t *testing.T) {
+	c := cpu(t, nil)
+	n := 1 << 20
+	contig := c.Copy(0, n)
+	strided := c.StridedCopy(contig, n) - contig
+	if strided <= contig {
+		t.Fatalf("strided copy %v should be slower than contiguous %v", strided, contig)
+	}
+}
+
+func TestNoiseInflatesExec(t *testing.T) {
+	quiet := cpu(t, nil).Exec(0, 10*sim.Microsecond)
+	noisy := cpu(t, &noise.Model{
+		Period:   100 * sim.Microsecond,
+		Duration: 20 * sim.Microsecond,
+		Phase:    0, // detour covers the start
+	}).Exec(0, 10*sim.Microsecond)
+	if noisy <= quiet {
+		t.Fatalf("noise did not inflate: %v vs %v", noisy, quiet)
+	}
+}

@@ -1,0 +1,148 @@
+// Package isa implements the HPU instruction set used to cross-validate
+// the cost-model execution of internal/core: a small 32-bit RISC (in the
+// spirit of the ARMv8-A 32-bit configuration the paper simulates with gem5,
+// §4.2) with an assembler, a binary encoding, and a cycle-accurate
+// interpreter. Handlers written in this ISA execute against HPU scratchpad
+// memory and a packet buffer; the interpreter's cycle counts anchor the
+// per-action charges in internal/core/costs.go (see the cross-check tests).
+package isa
+
+import "fmt"
+
+// Opcode enumerates instructions.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	OpNop  Opcode = iota
+	OpLi          // li   rd, imm            rd = imm
+	OpLui         // lui  rd, imm            rd = (rd & 0x3FFF) | imm<<14
+	OpAdd         // add  rd, rs1, rs2
+	OpSub         // sub  rd, rs1, rs2
+	OpAnd         // and  rd, rs1, rs2
+	OpOr          // or   rd, rs1, rs2
+	OpXor         // xor  rd, rs1, rs2
+	OpSll         // sll  rd, rs1, rs2
+	OpSrl         // srl  rd, rs1, rs2
+	OpAddi        // addi rd, rs1, imm
+	OpMul         // mul  rd, rs1, rs2       (3 cycles)
+	OpDivu        // divu rd, rs1, rs2       (20 cycles)
+	OpRemu        // remu rd, rs1, rs2       (20 cycles)
+	OpLw          // lw   rd, imm(rs1)
+	OpLb          // lb   rd, imm(rs1)
+	OpSw          // sw   rs2, imm(rs1)
+	OpSb          // sb   rs2, imm(rs1)
+	OpBeq         // beq  rs1, rs2, imm      (pc-relative words)
+	OpBne         // bne  rs1, rs2, imm
+	OpBltu        // bltu rs1, rs2, imm
+	OpBgeu        // bgeu rs1, rs2, imm
+	OpJmp         // jmp  imm
+	OpHalt        // halt imm                return code imm
+	opCount
+)
+
+var opNames = [...]string{
+	"nop", "li", "lui", "add", "sub", "and", "or", "xor", "sll", "srl",
+	"addi", "mul", "divu", "remu", "lw", "lb", "sw", "sb",
+	"beq", "bne", "bltu", "bgeu", "jmp", "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Cycles returns the instruction's cost. Scratchpad loads/stores are
+// single-cycle (§4.2: k = 1); multiply and divide follow the A15's simple
+// integer pipeline.
+func (o Opcode) Cycles() int64 {
+	switch o {
+	case OpMul:
+		return 3
+	case OpDivu, OpRemu:
+		return 20
+	default:
+		return 1
+	}
+}
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op           Opcode
+	Rd, Rs1, Rs2 uint8
+	Imm          int32 // 14-bit signed in the encoding
+}
+
+// NumRegs is the register-file size; r0 is hardwired to zero.
+const NumRegs = 16
+
+// Encoding layout: [31:26] opcode, [25:22] rd, [21:18] rs1, [17:14] rs2,
+// [13:0] imm (signed).
+const (
+	immBits = 14
+	immMask = (1 << immBits) - 1
+	immMax  = 1<<(immBits-1) - 1
+	immMin  = -(1 << (immBits - 1))
+)
+
+// Encode packs an instruction into a 32-bit word.
+func Encode(in Inst) (uint32, error) {
+	if in.Op >= opCount {
+		return 0, fmt.Errorf("isa: bad opcode %d", in.Op)
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: register out of range in %v", in)
+	}
+	if in.Imm > immMax || in.Imm < immMin {
+		return 0, fmt.Errorf("isa: immediate %d out of 14-bit range", in.Imm)
+	}
+	w := uint32(in.Op)<<26 | uint32(in.Rd)<<22 | uint32(in.Rs1)<<18 | uint32(in.Rs2)<<14
+	w |= uint32(in.Imm) & immMask
+	return w, nil
+}
+
+// Decode unpacks a 32-bit word.
+func Decode(w uint32) (Inst, error) {
+	in := Inst{
+		Op:  Opcode(w >> 26),
+		Rd:  uint8(w >> 22 & 0xF),
+		Rs1: uint8(w >> 18 & 0xF),
+		Rs2: uint8(w >> 14 & 0xF),
+	}
+	imm := int32(w & immMask)
+	if imm > immMax {
+		imm -= 1 << immBits
+	}
+	in.Imm = imm
+	if in.Op >= opCount {
+		return in, fmt.Errorf("isa: bad opcode %d", in.Op)
+	}
+	return in, nil
+}
+
+// Disassemble renders an instruction as assembler text.
+func Disassemble(in Inst) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpLi, OpLui:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Rd, in.Imm)
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpMul, OpDivu, OpRemu:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case OpAddi:
+		return fmt.Sprintf("addi r%d, r%d, %d", in.Rd, in.Rs1, in.Imm)
+	case OpLw, OpLb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case OpSw, OpSb:
+		return fmt.Sprintf("%s r%d, %d(r%d)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case OpBeq, OpBne, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpHalt:
+		return fmt.Sprintf("halt %d", in.Imm)
+	}
+	return "?"
+}

@@ -1,0 +1,176 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VM is a cycle-accurate HPU interpreter: single issue, IPC = 1,
+// single-cycle scratchpad, 3-cycle multiply, 20-cycle divide — the §4.2
+// HPU configuration.
+type VM struct {
+	// Mem is the HPU scratchpad (byte-addressed from 0).
+	Mem []byte
+	// Packet is the read-only packet buffer, mapped at PacketBase.
+	Packet []byte
+	// Regs is the register file; r0 reads as zero.
+	Regs [NumRegs]uint32
+	// Cycles accumulates execution time.
+	Cycles int64
+	// Executed counts retired instructions.
+	Executed int64
+}
+
+// PacketBase is the address at which the packet buffer is mapped.
+const PacketBase = 0x10000
+
+// MaxSteps bounds runaway programs (the paper recommends killing handlers
+// after a fixed number of cycles, §7).
+const MaxSteps = 1 << 22
+
+// Run executes the program from instruction 0 until halt and returns the
+// halt code.
+func (vm *VM) Run(prog []Inst) (int32, error) {
+	pc := 0
+	for steps := 0; steps < MaxSteps; steps++ {
+		if pc < 0 || pc >= len(prog) {
+			return 0, fmt.Errorf("isa: pc %d outside program of %d instructions", pc, len(prog))
+		}
+		in := prog[pc]
+		vm.Cycles += in.Op.Cycles()
+		vm.Executed++
+		vm.Regs[0] = 0
+		r := &vm.Regs
+		switch in.Op {
+		case OpNop:
+		case OpLi:
+			r[in.Rd] = uint32(in.Imm)
+		case OpLui:
+			r[in.Rd] = (r[in.Rd] & immMask) | uint32(in.Imm)<<immBits
+		case OpAdd:
+			r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+		case OpSub:
+			r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+		case OpAnd:
+			r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+		case OpOr:
+			r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+		case OpXor:
+			r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+		case OpSll:
+			r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+		case OpSrl:
+			r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+		case OpAddi:
+			r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+		case OpMul:
+			r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+		case OpDivu:
+			if r[in.Rs2] == 0 {
+				r[in.Rd] = ^uint32(0)
+			} else {
+				r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+			}
+		case OpRemu:
+			if r[in.Rs2] == 0 {
+				r[in.Rd] = r[in.Rs1]
+			} else {
+				r[in.Rd] = r[in.Rs1] % r[in.Rs2]
+			}
+		case OpLw:
+			v, err := vm.load(r[in.Rs1]+uint32(in.Imm), 4)
+			if err != nil {
+				return 0, err
+			}
+			r[in.Rd] = v
+		case OpLb:
+			v, err := vm.load(r[in.Rs1]+uint32(in.Imm), 1)
+			if err != nil {
+				return 0, err
+			}
+			r[in.Rd] = v
+		case OpSw:
+			if err := vm.store(r[in.Rs1]+uint32(in.Imm), r[in.Rs2], 4); err != nil {
+				return 0, err
+			}
+		case OpSb:
+			if err := vm.store(r[in.Rs1]+uint32(in.Imm), r[in.Rs2], 1); err != nil {
+				return 0, err
+			}
+		case OpBeq:
+			if r[in.Rs1] == r[in.Rs2] {
+				pc += int(in.Imm)
+				continue
+			}
+		case OpBne:
+			if r[in.Rs1] != r[in.Rs2] {
+				pc += int(in.Imm)
+				continue
+			}
+		case OpBltu:
+			if r[in.Rs1] < r[in.Rs2] {
+				pc += int(in.Imm)
+				continue
+			}
+		case OpBgeu:
+			if r[in.Rs1] >= r[in.Rs2] {
+				pc += int(in.Imm)
+				continue
+			}
+		case OpJmp:
+			pc += int(in.Imm)
+			continue
+		case OpHalt:
+			return in.Imm, nil
+		default:
+			return 0, fmt.Errorf("isa: illegal opcode %v at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	return 0, fmt.Errorf("isa: program exceeded %d steps (runaway handler)", MaxSteps)
+}
+
+// load reads size bytes (1 or 4, little-endian) from scratchpad or the
+// packet window.
+func (vm *VM) load(addr uint32, size int) (uint32, error) {
+	buf, off, err := vm.resolve(addr, size, false)
+	if err != nil {
+		return 0, err
+	}
+	if size == 1 {
+		return uint32(buf[off]), nil
+	}
+	return binary.LittleEndian.Uint32(buf[off:]), nil
+}
+
+func (vm *VM) store(addr, val uint32, size int) error {
+	buf, off, err := vm.resolve(addr, size, true)
+	if err != nil {
+		return err
+	}
+	if size == 1 {
+		buf[off] = byte(val)
+		return nil
+	}
+	binary.LittleEndian.PutUint32(buf[off:], val)
+	return nil
+}
+
+// resolve maps an address to scratchpad or the packet window; stores to
+// the packet window fault (packets are read-only to handlers).
+func (vm *VM) resolve(addr uint32, size int, write bool) ([]byte, int, error) {
+	if addr >= PacketBase {
+		off := int(addr - PacketBase)
+		if write {
+			return nil, 0, fmt.Errorf("isa: store to read-only packet buffer at %#x", addr)
+		}
+		if off+size > len(vm.Packet) {
+			return nil, 0, fmt.Errorf("isa: packet access at %#x outside %d-byte packet", addr, len(vm.Packet))
+		}
+		return vm.Packet, off, nil
+	}
+	if int(addr)+size > len(vm.Mem) {
+		return nil, 0, fmt.Errorf("isa: scratchpad access at %#x outside %d bytes (SEGV)", addr, len(vm.Mem))
+	}
+	return vm.Mem, int(addr), nil
+}

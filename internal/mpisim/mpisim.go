@@ -1,0 +1,317 @@
+// Package mpisim implements the §5.1 message-matching study: MPI-style
+// rank programs (compute phases + nonblocking halo exchanges) replayed over
+// the simulated network with two protocol engines:
+//
+//   - HostMatching — the RDMA baseline: eager messages always bounce
+//     through a staging buffer and are copied by the CPU; rendezvous
+//     transfers require the receiving CPU to be inside an MPI call to
+//     progress (synchronous progression), so RTS packets arriving during
+//     compute wait for the next MPI entry.
+//   - SpinMatching — the paper's offloaded protocol: the NIC matches in
+//     hardware; pre-posted receives deposit directly (no copy, case I/II of
+//     Fig. 5b), and the rendezvous header handler issues the get
+//     immediately, giving fully asynchronous progress.
+//
+// The engine measures total runtime and the time ranks spend blocked in
+// MPI, which yields Table 5c's overhead and speedup columns.
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/hostsim"
+	"repro/internal/netsim"
+	"repro/internal/noise"
+	"repro/internal/sim"
+)
+
+// MatchMode selects the protocol engine.
+type MatchMode int
+
+const (
+	// HostMatching is the CPU-driven baseline.
+	HostMatching MatchMode = iota
+	// SpinMatching is the sPIN-offloaded protocol.
+	SpinMatching
+)
+
+func (m MatchMode) String() string {
+	if m == SpinMatching {
+		return "sPIN"
+	}
+	return "host"
+}
+
+// OpKind enumerates program operations.
+type OpKind int
+
+// Program operations.
+const (
+	OpCompute OpKind = iota
+	OpIsend
+	OpIrecv
+	OpWaitAll
+)
+
+// Op is one step of a rank program.
+type Op struct {
+	Kind OpKind
+	Dur  sim.Time // OpCompute
+	Peer int      // OpIsend / OpIrecv
+	Tag  uint64
+	Size int
+}
+
+// Config parameterizes a replay.
+type Config struct {
+	Params netsim.Params
+	Mode   MatchMode
+	// EagerThreshold splits eager from rendezvous transfers.
+	EagerThreshold int
+	// Noise optionally injects OS noise into host CPU work.
+	Noise func(rank int) *noise.Model
+	// RecvPostCost is the CPU cost of posting a receive.
+	RecvPostCost sim.Time
+}
+
+// DefaultConfig returns the configuration used for Table 5c.
+func DefaultConfig(mode MatchMode) Config {
+	return Config{
+		Params:         netsim.Discrete(),
+		Mode:           mode,
+		EagerThreshold: 8192,
+		RecvPostCost:   50 * sim.Nanosecond,
+	}
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Runtime sim.Time
+	// MPITime is the summed per-rank time blocked in MPI waits.
+	MPITime sim.Time
+	// Messages counts application messages (sends).
+	Messages uint64
+	// Events counts simulator events processed.
+	Events uint64
+	// Copies counts CPU bounce-buffer copies performed.
+	Copies uint64
+}
+
+// OverheadFraction returns MPI blocked time as a fraction of total
+// rank-seconds (the paper's "ovhd" column).
+func (r Result) OverheadFraction(ranks int) float64 {
+	if r.Runtime <= 0 {
+		return 0
+	}
+	return float64(r.MPITime) / (float64(r.Runtime) * float64(ranks))
+}
+
+type recvReq struct {
+	peer int
+	tag  uint64
+	size int
+	done bool
+}
+
+type sendReq struct {
+	done bool
+}
+
+// inflight tracks an arriving wire message at the receiver.
+type inflight struct {
+	msg     *netsim.Message
+	arrived int
+	total   int
+	visible sim.Time
+}
+
+// pendingArrival is a fully arrived message not yet matched or consumed.
+type pendingArrival struct {
+	src    int
+	tag    uint64
+	size   int
+	rts    bool // rendezvous announcement rather than data
+	at     sim.Time
+	pullID uint64 // rendezvous transfer id (rts only)
+}
+
+// pullDest records where a rendezvous pull's data must complete.
+type pullDest struct {
+	r  *rank
+	rr *recvReq
+}
+
+// rank is one simulated MPI process.
+type rank struct {
+	id  int
+	eng *Engine
+	cpu *hostsim.CPU
+
+	ops []Op
+	pc  int
+
+	posted     []*recvReq
+	unexpected []*pendingArrival
+
+	sends []*sendReq
+	recvs []*recvReq
+
+	// inMPI is true while the rank is inside an MPI call (WaitAll);
+	// the baseline can only progress protocols then.
+	inMPI      bool
+	mpiEnter   sim.Time
+	mpiBlocked sim.Time
+	// pendingProgress queues protocol work (RTS service, eager copies)
+	// until the host enters MPI (baseline mode).
+	pendingProgress []func(now sim.Time)
+
+	finished bool
+	endTime  sim.Time
+}
+
+// Engine replays rank programs.
+type Engine struct {
+	C    *netsim.Cluster
+	Cfg  Config
+	rank []*rank
+
+	inflight map[*netsim.Message]*inflight
+	// rdvPull maps rendezvous ids to sender-side completion state.
+	rdvPull map[uint64]*sendReq
+	// pullWait maps rendezvous ids to the receiver awaiting the data.
+	pullWait map[uint64]pullDest
+
+	Res Result
+}
+
+// New builds a replay engine for the given per-rank programs.
+func New(cfg Config, programs [][]Op) (*Engine, error) {
+	c, err := netsim.NewCluster(len(programs), cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		C:        c,
+		Cfg:      cfg,
+		inflight: make(map[*netsim.Message]*inflight),
+		rdvPull:  make(map[uint64]*sendReq),
+		pullWait: make(map[uint64]pullDest),
+	}
+	e.rank = make([]*rank, len(programs))
+	for i, prog := range programs {
+		var nz *noise.Model
+		if cfg.Noise != nil {
+			nz = cfg.Noise(i)
+		}
+		e.rank[i] = &rank{id: i, eng: e, cpu: hostsim.New(c, i, nz), ops: prog}
+		c.Nodes[i].Recv = &nodeRecv{e: e, r: e.rank[i]}
+	}
+	return e, nil
+}
+
+// Run replays the programs to completion and returns the result.
+func (e *Engine) Run() (Result, error) {
+	for _, r := range e.rank {
+		r := r
+		e.C.Eng.Schedule(0, func() { r.step(0) })
+	}
+	e.C.Eng.Run()
+	var end sim.Time
+	for _, r := range e.rank {
+		if !r.finished {
+			return Result{}, fmt.Errorf("mpisim: rank %d deadlocked at op %d/%d", r.id, r.pc, len(r.ops))
+		}
+		if r.endTime > end {
+			end = r.endTime
+		}
+		e.Res.MPITime += r.mpiBlocked
+	}
+	e.Res.Runtime = end
+	e.Res.Events = e.C.Eng.Processed()
+	return e.Res, nil
+}
+
+// step advances a rank's program at time now.
+func (r *rank) step(now sim.Time) {
+	for r.pc < len(r.ops) {
+		op := r.ops[r.pc]
+		switch op.Kind {
+		case OpCompute:
+			r.pc++
+			var nz *noise.Model
+			if r.eng.Cfg.Noise != nil {
+				nz = r.eng.Cfg.Noise(r.id)
+			}
+			end := nz.Inflate(now, op.Dur)
+			r.eng.C.Eng.Schedule(end, func() { r.step(r.eng.C.Eng.Now()) })
+			return
+		case OpIsend:
+			r.pc++
+			now = r.isend(now, op)
+		case OpIrecv:
+			r.pc++
+			now = r.irecv(now, op)
+		case OpWaitAll:
+			if r.allDone() {
+				r.pc++
+				r.sends = r.sends[:0]
+				r.recvs = r.recvs[:0]
+				continue
+			}
+			// Block in MPI: enable progress, drain queued work.
+			if !r.inMPI {
+				r.inMPI = true
+				r.mpiEnter = now
+				r.drainProgress(now)
+			}
+			return
+		}
+	}
+	r.finished = true
+	r.endTime = now
+}
+
+// resume is called when a completion might unblock a WaitAll.
+func (r *rank) resume(now sim.Time) {
+	if r.finished || !r.inMPI {
+		return
+	}
+	if r.pc < len(r.ops) && r.ops[r.pc].Kind == OpWaitAll && r.allDone() {
+		r.inMPI = false
+		r.mpiBlocked += now - r.mpiEnter
+		r.step(now)
+	}
+}
+
+func (r *rank) allDone() bool {
+	for _, s := range r.sends {
+		if !s.done {
+			return false
+		}
+	}
+	for _, rc := range r.recvs {
+		if !rc.done {
+			return false
+		}
+	}
+	return true
+}
+
+// drainProgress runs protocol work deferred until MPI entry (baseline).
+func (r *rank) drainProgress(now sim.Time) {
+	work := r.pendingProgress
+	r.pendingProgress = nil
+	for _, fn := range work {
+		fn(now)
+	}
+}
+
+// enqueueProgress defers fn until the host can progress MPI. In sPIN mode
+// and whenever the host is already inside MPI, it runs immediately.
+func (r *rank) enqueueProgress(now sim.Time, fn func(now sim.Time)) {
+	if r.eng.Cfg.Mode == SpinMatching || r.inMPI {
+		fn(now)
+		return
+	}
+	r.pendingProgress = append(r.pendingProgress, fn)
+}

@@ -1,0 +1,152 @@
+package mpisim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// exchange builds a 2-rank program: both ranks post a receive, send to
+// each other, compute, and wait.
+func exchange(size int, compute sim.Time, iters int) [][]Op {
+	progs := make([][]Op, 2)
+	for r := 0; r < 2; r++ {
+		peer := 1 - r
+		var ops []Op
+		for it := 0; it < iters; it++ {
+			tag := uint64(it + 1)
+			ops = append(ops,
+				Op{Kind: OpIrecv, Peer: peer, Tag: tag, Size: size},
+				Op{Kind: OpIsend, Peer: peer, Tag: tag, Size: size},
+				Op{Kind: OpCompute, Dur: compute},
+				Op{Kind: OpWaitAll},
+			)
+		}
+		progs[r] = ops
+	}
+	return progs
+}
+
+func run(t *testing.T, mode MatchMode, progs [][]Op) Result {
+	t.Helper()
+	e, err := New(DefaultConfig(mode), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEagerExchangeCompletes(t *testing.T) {
+	res := run(t, HostMatching, exchange(1024, 10*sim.Microsecond, 5))
+	if res.Messages != 10 {
+		t.Fatalf("messages = %d, want 10 (2 ranks x 5 iterations)", res.Messages)
+	}
+	if res.Runtime < 50*sim.Microsecond {
+		t.Fatalf("runtime %v shorter than compute alone", res.Runtime)
+	}
+	// Baseline always copies eager data.
+	if res.Copies != 10 {
+		t.Fatalf("copies = %d, want 10", res.Copies)
+	}
+}
+
+func TestSpinEagerAvoidsCopies(t *testing.T) {
+	res := run(t, SpinMatching, exchange(1024, 10*sim.Microsecond, 5))
+	if res.Copies != 0 {
+		t.Fatalf("sPIN posted-receive eager path copied %d times", res.Copies)
+	}
+}
+
+func TestRendezvousExchangeCompletes(t *testing.T) {
+	for _, mode := range []MatchMode{HostMatching, SpinMatching} {
+		res := run(t, mode, exchange(64*1024, 10*sim.Microsecond, 3))
+		if res.Messages != 6 {
+			t.Fatalf("%v: messages = %d, want 6", mode, res.Messages)
+		}
+	}
+}
+
+func TestSpinRendezvousOverlapsCompute(t *testing.T) {
+	// With receives pre-posted and a long compute phase, the baseline
+	// cannot progress the rendezvous until WaitAll, serializing transfer
+	// after compute; sPIN overlaps it. The sPIN runtime must be shorter
+	// by roughly the transfer time.
+	progs := exchange(256*1024, 200*sim.Microsecond, 4)
+	base := run(t, HostMatching, progs)
+	spin := run(t, SpinMatching, progs)
+	if spin.Runtime >= base.Runtime {
+		t.Fatalf("sPIN %v not faster than baseline %v", spin.Runtime, base.Runtime)
+	}
+	saved := base.Runtime - spin.Runtime
+	// 256 KiB at 50 GiB/s is ~5.2 us of transfer per iteration.
+	if saved < 10*sim.Microsecond {
+		t.Fatalf("saved only %v; expected several us per iteration", saved)
+	}
+}
+
+func TestUnexpectedMessagesMatchLater(t *testing.T) {
+	// Rank 0 sends before rank 1 posts its receive (late recv, case
+	// III/IV of Fig. 5b).
+	progs := [][]Op{
+		{
+			{Kind: OpIsend, Peer: 1, Tag: 5, Size: 2048},
+			{Kind: OpIsend, Peer: 1, Tag: 6, Size: 32768},
+			{Kind: OpWaitAll},
+		},
+		{
+			{Kind: OpCompute, Dur: 50 * sim.Microsecond},
+			{Kind: OpIrecv, Peer: 0, Tag: 5, Size: 2048},
+			{Kind: OpIrecv, Peer: 0, Tag: 6, Size: 32768},
+			{Kind: OpWaitAll},
+		},
+	}
+	for _, mode := range []MatchMode{HostMatching, SpinMatching} {
+		e, err := New(DefaultConfig(mode), progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Runtime < 50*sim.Microsecond {
+			t.Fatalf("%v: runtime %v impossible", mode, res.Runtime)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// A receive with no matching send must be reported, not hang.
+	progs := [][]Op{
+		{{Kind: OpIrecv, Peer: 1, Tag: 1, Size: 8}, {Kind: OpWaitAll}},
+		{},
+	}
+	e, err := New(DefaultConfig(HostMatching), progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("deadlock not reported")
+	}
+}
+
+func TestOverheadFractionBounds(t *testing.T) {
+	res := run(t, HostMatching, exchange(16*1024, 20*sim.Microsecond, 10))
+	f := res.OverheadFraction(2)
+	if f <= 0 || f >= 1 {
+		t.Fatalf("overhead fraction %v out of (0,1)", f)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	progs := exchange(16*1024, 5*sim.Microsecond, 8)
+	a := run(t, SpinMatching, progs)
+	b := run(t, SpinMatching, progs)
+	if a.Runtime != b.Runtime || a.Messages != b.Messages {
+		t.Fatalf("nondeterministic replay: %v/%v vs %v/%v", a.Runtime, a.Messages, b.Runtime, b.Messages)
+	}
+}

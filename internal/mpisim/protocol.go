@@ -1,0 +1,210 @@
+package mpisim
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// nicHandlerDelay is the header-handler time for the sPIN rendezvous
+// handler to parse the RTS and issue the get (a few dozen instructions).
+const nicHandlerDelay = 20 * sim.Nanosecond
+
+// isend posts a send. Eager messages are buffered and complete locally;
+// rendezvous sends announce the data with an RTS and complete when the
+// receiver has pulled the data from this rank's memory.
+func (r *rank) isend(now sim.Time, op Op) sim.Time {
+	e := r.eng
+	e.Res.Messages++
+	sr := &sendReq{}
+	r.sends = append(r.sends, sr)
+	if op.Size <= e.Cfg.EagerThreshold {
+		sr.done = true
+		m := &netsim.Message{
+			Type: netsim.OpPut, Src: r.id, Dst: op.Peer,
+			MatchBits: op.Tag, Length: op.Size,
+		}
+		return e.C.HostSend(now, m)
+	}
+	id := e.C.NextID()
+	e.rdvPull[id] = sr
+	rts := &netsim.Message{
+		Type: netsim.OpPut, Src: r.id, Dst: op.Peer,
+		MatchBits: op.Tag, Length: 0, HdrData: id, GetLength: op.Size,
+	}
+	return e.C.HostSend(now, rts)
+}
+
+// irecv posts a receive: in sPIN mode this installs a matching entry (and
+// rendezvous handlers) on the NIC; in host mode it only updates the
+// library's queues. Either way it checks the unexpected queue.
+func (r *rank) irecv(now sim.Time, op Op) sim.Time {
+	rr := &recvReq{peer: op.Peer, tag: op.Tag, size: op.Size}
+	r.recvs = append(r.recvs, rr)
+	now = r.cpu.Exec(now, r.eng.Cfg.RecvPostCost)
+	// Search the unexpected queue (the host is in the MPI library now).
+	for i, pa := range r.unexpected {
+		if pa.src != op.Peer || pa.tag != op.Tag {
+			continue
+		}
+		r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+		if pa.rts {
+			// Case IV (Fig. 5b): recv after RTS — the CPU issues the get.
+			t := r.cpu.Exec(maxTime(now, pa.at), r.eng.C.P.O)
+			r.eng.issuePull(t, r, rr, pa)
+		} else {
+			// Case III: eager data already in the bounce buffer — copy.
+			t := r.cpu.MatchWalk(maxTime(now, pa.at), len(r.unexpected)+1)
+			t = r.cpu.Copy(t, pa.size)
+			r.eng.Res.Copies++
+			r.completeRecv(t, rr)
+		}
+		return now
+	}
+	r.posted = append(r.posted, rr)
+	return now
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// completeRecv finishes a receive at time t.
+func (r *rank) completeRecv(t sim.Time, rr *recvReq) {
+	rr.done = true
+	r.eng.C.Eng.Schedule(t, func() { r.resume(r.eng.C.Eng.Now()) })
+}
+
+// matchPosted removes and returns the first posted receive matching
+// (src, tag), or nil.
+func (r *rank) matchPosted(src int, tag uint64) *recvReq {
+	for i, rr := range r.posted {
+		if rr.peer == src && rr.tag == tag {
+			r.posted = append(r.posted[:i], r.posted[i+1:]...)
+			return rr
+		}
+	}
+	return nil
+}
+
+// issuePull sends the rendezvous get to the data's source. In sPIN mode
+// the NIC's header handler issues it; in host mode the CPU does.
+func (e *Engine) issuePull(now sim.Time, r *rank, rr *recvReq, pa *pendingArrival) {
+	pull := &netsim.Message{
+		Type: netsim.OpGet, Src: r.id, Dst: pa.src,
+		MatchBits: pa.tag, HdrData: pa.pullID, GetLength: rr.size,
+	}
+	e.pullWait[pa.pullID] = pullDest{r: r, rr: rr}
+	e.C.DeviceSend(now, pull)
+}
+
+// nodeRecv adapts a rank to netsim.Receiver: it assembles packets into
+// messages (charging the destination DMA for payload-carrying packets) and
+// dispatches the protocol when a message is complete.
+type nodeRecv struct {
+	e *Engine
+	r *rank
+}
+
+// ReceivePacket implements netsim.Receiver.
+func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
+	e := nr.e
+	fl := e.inflight[pkt.Msg]
+	if fl == nil {
+		fl = &inflight{msg: pkt.Msg, total: e.C.P.Packets(pkt.Msg.Length)}
+		e.inflight[pkt.Msg] = fl
+	}
+	fl.arrived++
+	if pkt.Size > 0 {
+		_, visible := e.C.Nodes[nr.r.id].Bus.Write(now, pkt.Size)
+		if visible > fl.visible {
+			fl.visible = visible
+		}
+	} else if now > fl.visible {
+		fl.visible = now
+	}
+	if fl.arrived < fl.total {
+		return
+	}
+	delete(e.inflight, pkt.Msg)
+	nr.dispatch(fl.visible, pkt.Msg)
+}
+
+// dispatch handles one fully arrived message.
+func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
+	e, r := nr.e, nr.r
+	switch {
+	case m.Type == netsim.OpGet:
+		// Rendezvous pull request: this rank is the sender; the NIC reads
+		// the data from host memory and streams it back — no CPU.
+		sr := e.rdvPull[m.HdrData]
+		delete(e.rdvPull, m.HdrData)
+		ready := e.C.Nodes[r.id].Bus.Read(at, m.GetLength)
+		data := &netsim.Message{
+			Type: netsim.OpGetResponse, Src: r.id, Dst: m.Src,
+			Length: m.GetLength, HdrData: m.HdrData,
+		}
+		e.C.DeviceSend(ready, data)
+		if sr != nil {
+			sr.done = true
+			e.C.Eng.Schedule(ready, func() { r.resume(e.C.Eng.Now()) })
+		}
+	case m.Type == netsim.OpGetResponse:
+		// Rendezvous data landed in the user buffer.
+		pd, ok := e.pullWait[m.HdrData]
+		if ok {
+			delete(e.pullWait, m.HdrData)
+			pd.r.completeRecv(at, pd.rr)
+		}
+	case m.GetLength > 0:
+		// RTS for a rendezvous send.
+		pa := &pendingArrival{src: m.Src, tag: m.MatchBits, size: m.GetLength, rts: true, at: at, pullID: m.HdrData}
+		if e.Cfg.Mode == SpinMatching {
+			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
+				// Case II: the header handler issues the get directly
+				// from the NIC — fully asynchronous progress.
+				e.issuePull(at+nicHandlerDelay, r, rr, pa)
+				return
+			}
+			r.unexpected = append(r.unexpected, pa)
+			return
+		}
+		// Baseline: the CPU must be inside MPI to see the RTS.
+		r.enqueueProgress(at, func(now sim.Time) {
+			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
+				t := r.cpu.MatchWalk(maxTime(now, at), len(r.posted)+1)
+				t = r.cpu.Exec(t, e.C.P.O)
+				e.issuePull(t, r, rr, pa)
+				return
+			}
+			r.unexpected = append(r.unexpected, pa)
+		})
+	default:
+		// Eager data.
+		pa := &pendingArrival{src: m.Src, tag: m.MatchBits, size: m.Length, at: at}
+		if e.Cfg.Mode == SpinMatching {
+			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
+				// Case I: matched in hardware, deposited directly into
+				// the user buffer — no copy.
+				r.completeRecv(at, rr)
+				return
+			}
+			r.unexpected = append(r.unexpected, pa)
+			return
+		}
+		// Baseline: data sits in the bounce buffer until the CPU is in
+		// MPI, matches it, and copies it out.
+		r.enqueueProgress(at, func(now sim.Time) {
+			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
+				t := r.cpu.MatchWalk(maxTime(now, at), len(r.posted)+1)
+				t = r.cpu.Copy(t, m.Length)
+				e.Res.Copies++
+				r.completeRecv(t, rr)
+				return
+			}
+			r.unexpected = append(r.unexpected, pa)
+		})
+	}
+}

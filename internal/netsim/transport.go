@@ -1,0 +1,224 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/membus"
+	"repro/internal/sim"
+	"repro/internal/timeline"
+)
+
+// OpType distinguishes the network transaction kinds of Portals 4 (§3.1).
+type OpType uint8
+
+const (
+	OpPut OpType = iota
+	OpGet
+	OpGetResponse
+	OpAtomic
+	OpAck
+)
+
+func (o OpType) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpGetResponse:
+		return "get-resp"
+	case OpAtomic:
+		return "atomic"
+	case OpAck:
+		return "ack"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Message is one network transaction. Data may be nil for timing-only
+// simulations (large trace replays); when present, receivers deposit the
+// actual bytes so tests can verify end-to-end content.
+type Message struct {
+	ID        uint64
+	Type      OpType
+	Src, Dst  int
+	PTIndex   int
+	MatchBits uint64
+	Offset    int64 // requested offset in the target ME
+	HdrData   uint64
+	UserHdr   []byte // user-defined header (first bytes of payload, §3.2.1)
+	Length    int    // payload length in bytes (excluding UserHdr)
+	Data      []byte // optional payload bytes, len == Length when non-nil
+
+	// GetLength is the number of bytes requested by an OpGet.
+	GetLength int
+	// AtomicOp selects the operation of an OpAtomic message (values are
+	// defined by the Portals layer).
+	AtomicOp uint8
+	// AckReq asks the target to send an OpAck back to the initiator when
+	// the message completes.
+	AckReq bool
+	// ReplyTo carries the originating message for OpGetResponse/OpAck so
+	// the requester can correlate completions.
+	ReplyTo uint64
+
+	// OnDelivered, if set, runs at the source when the last packet has
+	// been injected (send-side completion, e.g. MD events).
+	OnDelivered func(now sim.Time)
+}
+
+// Packet is one MTU-sized piece of a message.
+type Packet struct {
+	Msg    *Message
+	Index  int  // 0-based packet number
+	Offset int  // payload offset within the message
+	Size   int  // payload bytes carried
+	Header bool // true for the first packet (carries header + user header)
+	Last   bool
+}
+
+// Receiver consumes matched packets at a node. The Portals layer implements
+// this.
+type Receiver interface {
+	// ReceivePacket is called when the packet has cleared the NIC's
+	// matching hardware at time now.
+	ReceivePacket(now sim.Time, pkt *Packet)
+}
+
+// Node is one network endpoint: a host CPU, its NIC (egress + matching
+// unit), and the NIC<->memory bus.
+type Node struct {
+	Rank    int
+	Egress  *sim.Resource
+	MatchHW *sim.Resource
+	Bus     *membus.Bus
+	Cores   *sim.Pool
+	Recv    Receiver
+
+	cluster *Cluster
+}
+
+// Cluster wires n nodes onto one engine and transports packets between them.
+type Cluster struct {
+	Eng    *sim.Engine
+	P      Params
+	Nodes  []*Node
+	Rec    *timeline.Recorder // optional; nil disables recording
+	nextID uint64
+
+	// Stats
+	MessagesSent uint64
+	PacketsSent  uint64
+	BytesSent    uint64
+}
+
+// NewCluster builds n nodes with the given parameters on a fresh engine.
+func NewCluster(n int, p Params) (*Cluster, error) {
+	if err := p.Topo.Validate(n); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Eng: sim.NewEngine(), P: p}
+	c.Nodes = make([]*Node, n)
+	for i := range c.Nodes {
+		c.Nodes[i] = &Node{
+			Rank:    i,
+			Egress:  sim.NewResource(fmt.Sprintf("egress-%d", i)),
+			MatchHW: sim.NewResource(fmt.Sprintf("match-%d", i)),
+			Bus:     membus.New(p.DMA),
+			Cores:   sim.NewPool(fmt.Sprintf("cpu-%d", i), p.HostCores),
+			cluster: c,
+		}
+	}
+	return c, nil
+}
+
+// NextID returns a fresh message ID.
+func (c *Cluster) NextID() uint64 {
+	c.nextID++
+	return c.nextID
+}
+
+// Send injects msg at the source NIC no earlier than ready (data available
+// at the NIC) and delivers its packets to the destination's Receiver after
+// matching. The caller is responsible for charging CPU overhead (o) or DMA
+// fetch time before ready, depending on where the data originates; Send
+// models only the wire and the receive-side matching hardware.
+func (c *Cluster) Send(ready sim.Time, msg *Message) {
+	if msg.ID == 0 {
+		msg.ID = c.NextID()
+	}
+	src := c.Nodes[msg.Src]
+	dst := c.Nodes[msg.Dst]
+	lat := c.P.Topo.Latency(msg.Src, msg.Dst)
+	n := c.P.Packets(msg.Length)
+	c.MessagesSent++
+
+	off := 0
+	var lastInjected sim.Time
+	for i := 0; i < n; i++ {
+		size := msg.Length - off
+		if size > c.P.MTU {
+			size = c.P.MTU
+		}
+		pkt := &Packet{
+			Msg:    msg,
+			Index:  i,
+			Offset: off,
+			Size:   size,
+			Header: i == 0,
+			Last:   i == n-1,
+		}
+		occ := c.P.PacketOccupancy(size)
+		start := src.Egress.Acquire(ready, occ)
+		injected := start + occ
+		lastInjected = injected
+		c.Rec.Record(msg.Src, "NIC", start, injected, fmt.Sprintf("tx %s #%d", msg.Type, i))
+		c.PacketsSent++
+		c.BytesSent += uint64(size)
+
+		arrival := injected + lat
+		c.Eng.Schedule(arrival, func() { dst.receive(pkt) })
+		off += size
+	}
+	if msg.OnDelivered != nil {
+		done := msg.OnDelivered
+		c.Eng.Schedule(lastInjected, func() { done(c.Eng.Now()) })
+	}
+}
+
+// receive runs when a packet reaches the destination NIC: it passes the
+// matching hardware (full match for header packets, CAM lookup otherwise)
+// and is handed to the node's Receiver.
+func (n *Node) receive(pkt *Packet) {
+	c := n.cluster
+	now := c.Eng.Now()
+	cost := c.P.CAMLookup
+	if pkt.Header {
+		cost = c.P.HeaderMatch
+	}
+	start := n.MatchHW.Acquire(now, cost)
+	done := start + cost
+	c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index))
+	if n.Recv == nil {
+		return // no consumer installed; packet vanishes (tests only)
+	}
+	c.Eng.Schedule(done, func() { n.Recv.ReceivePacket(c.Eng.Now(), pkt) })
+}
+
+// HostSend charges the injection overhead o on a host core at time now and
+// then injects the message; it returns the time the core is released. This
+// is the "posted by the host" path used by RDMA and PtlPut.
+func (c *Cluster) HostSend(now sim.Time, msg *Message) (coreFree sim.Time) {
+	src := c.Nodes[msg.Src]
+	_, start := src.Cores.AcquireAny(now, c.P.O)
+	coreFree = start + c.P.O
+	c.Rec.Record(msg.Src, "CPU", start, coreFree, "post "+msg.Type.String())
+	c.Send(coreFree, msg)
+	return coreFree
+}
+
+// DeviceSend injects a message generated on the NIC itself (triggered ops,
+// handler PutFromHost): no host-core overhead; data leaves at ready.
+func (c *Cluster) DeviceSend(ready sim.Time, msg *Message) {
+	c.Send(ready, msg)
+}

@@ -1,0 +1,71 @@
+// Package noise models operating-system noise (daemons, interrupts,
+// timers) as deterministic periodic detours, the injection technique
+// LogGOPSim uses to study noise sensitivity (§4.2, refs [21,22]). Noise
+// delays host-CPU work; NIC-resident processing (Portals triggered ops,
+// sPIN handlers) is immune — the asymmetry behind the paper's
+// noise-resilience claims for offloaded protocols.
+package noise
+
+import "repro/internal/sim"
+
+// Model is a periodic noise source: every Period of wall-clock time the
+// CPU loses Duration to a detour. Phase de-synchronizes ranks, as on real
+// systems where daemons are not aligned across nodes.
+type Model struct {
+	Period   sim.Time
+	Duration sim.Time
+	Phase    sim.Time
+}
+
+// None returns a disabled noise model.
+func None() *Model { return nil }
+
+// Typical returns a 1 kHz / 25 us noise signature (a common OS timer-tick
+// daemon profile from the LogGOPSim noise studies), phase-shifted by rank.
+func Typical(rank int) *Model {
+	period := sim.Millisecond
+	return &Model{
+		Period:   period,
+		Duration: 25 * sim.Microsecond,
+		Phase:    sim.Time(rank) * 137 * sim.Microsecond % period,
+	}
+}
+
+// Inflate returns when a piece of CPU work of the given duration finishes
+// if it starts at start, accounting for every noise window it overlaps.
+// A nil model returns start+work unchanged.
+func (m *Model) Inflate(start, work sim.Time) sim.Time {
+	if m == nil || m.Period <= 0 || m.Duration <= 0 {
+		return start + work
+	}
+	t := start
+	remaining := work
+	for remaining > 0 {
+		// Position within the current period.
+		pos := (t - m.Phase) % m.Period
+		if pos < 0 {
+			pos += m.Period
+		}
+		if pos < m.Duration {
+			// Inside a detour: stall until it ends.
+			t += m.Duration - pos
+			continue
+		}
+		// Run until the next detour or completion.
+		untilNext := m.Period - pos
+		if untilNext >= remaining {
+			return t + remaining
+		}
+		t += untilNext
+		remaining -= untilNext
+	}
+	return t
+}
+
+// Overhead returns the expected fractional slowdown (duration/period).
+func (m *Model) Overhead() float64 {
+	if m == nil || m.Period <= 0 {
+		return 0
+	}
+	return float64(m.Duration) / float64(m.Period)
+}

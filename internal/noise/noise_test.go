@@ -1,0 +1,69 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestNilModelIsTransparent(t *testing.T) {
+	var m *Model
+	if got := m.Inflate(100, 50); got != 150 {
+		t.Fatalf("nil model inflated: %v", got)
+	}
+	if m.Overhead() != 0 {
+		t.Fatal("nil model overhead nonzero")
+	}
+}
+
+func TestInflateSkipsDetours(t *testing.T) {
+	m := &Model{Period: 1000, Duration: 100}
+	// Work starting inside a detour stalls to its end.
+	if got := m.Inflate(50, 10); got != 110 {
+		t.Fatalf("start-in-detour: %v, want 110", got)
+	}
+	// Work fitting between detours is unaffected.
+	if got := m.Inflate(200, 300); got != 500 {
+		t.Fatalf("between detours: %v, want 500", got)
+	}
+	// Work spanning a period boundary pays one detour.
+	if got := m.Inflate(500, 600); got != 1200 {
+		t.Fatalf("spanning: %v, want 1200", got)
+	}
+}
+
+func TestInflateLongWorkMatchesOverhead(t *testing.T) {
+	m := &Model{Period: sim.Millisecond, Duration: 25 * sim.Microsecond}
+	work := 100 * sim.Millisecond
+	end := m.Inflate(0, work)
+	slowdown := float64(end-work) / float64(work)
+	want := m.Overhead()
+	if slowdown < want*0.9 || slowdown > want*1.1+0.001 {
+		t.Fatalf("slowdown %.4f, want ~%.4f", slowdown, want)
+	}
+}
+
+func TestTypicalPhaseVariesByRank(t *testing.T) {
+	a, b := Typical(0), Typical(1)
+	if a.Phase == b.Phase {
+		t.Fatal("ranks share a noise phase")
+	}
+	if a.Overhead() != 0.025 {
+		t.Fatalf("overhead = %v, want 0.025", a.Overhead())
+	}
+}
+
+// Property: inflation never shortens work and is monotone in start time
+// ordering of completion for equal work.
+func TestInflateNeverShortensProperty(t *testing.T) {
+	m := &Model{Period: 997, Duration: 91, Phase: 13}
+	f := func(start, work uint16) bool {
+		s, w := sim.Time(start), sim.Time(work)
+		end := m.Inflate(s, w)
+		return end >= s+w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

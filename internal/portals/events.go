@@ -1,0 +1,176 @@
+package portals
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// EventType enumerates full-event kinds.
+type EventType int
+
+const (
+	// EventPut signals a completed put at the target.
+	EventPut EventType = iota
+	// EventPutOverflow signals a put that matched the overflow list
+	// (unexpected message).
+	EventPutOverflow
+	// EventGet signals a completed get at the target.
+	EventGet
+	// EventAtomic signals a completed atomic at the target.
+	EventAtomic
+	// EventReply signals a get reply landed at the initiator.
+	EventReply
+	// EventAck signals a put acknowledgment at the initiator.
+	EventAck
+	// EventSend signals send-side completion of a put.
+	EventSend
+	// EventError signals a handler or protocol error.
+	EventError
+	// EventDropped signals packets dropped by flow control.
+	EventDropped
+)
+
+func (t EventType) String() string {
+	switch t {
+	case EventPut:
+		return "PUT"
+	case EventPutOverflow:
+		return "PUT_OVERFLOW"
+	case EventGet:
+		return "GET"
+	case EventAtomic:
+		return "ATOMIC"
+	case EventReply:
+		return "REPLY"
+	case EventAck:
+		return "ACK"
+	case EventSend:
+		return "SEND"
+	case EventError:
+		return "ERROR"
+	case EventDropped:
+		return "DROPPED"
+	}
+	return "UNKNOWN"
+}
+
+// Event is one full event.
+type Event struct {
+	Type         EventType
+	At           sim.Time // when the event became visible to the host
+	ME           *ME
+	Source       int
+	MatchBits    uint64
+	HdrData      uint64
+	Length       int
+	Offset       int64 // where the message landed in the ME
+	DroppedBytes int
+	FlowControl  bool
+	Err          error
+}
+
+// EQ is an event queue. Events become visible at their At time; OnEvent
+// callbacks (used by simulation drivers) run through the engine so ordering
+// is consistent.
+type EQ struct {
+	eng     *sim.Engine
+	events  []Event
+	handler func(Event)
+}
+
+// NewEQ allocates an event queue on the engine.
+func NewEQ(eng *sim.Engine) *EQ { return &EQ{eng: eng} }
+
+// Append adds an event and dispatches the OnEvent callback at ev.At.
+func (q *EQ) Append(ev Event) {
+	q.events = append(q.events, ev)
+	if q.handler != nil {
+		h := q.handler
+		if ev.At >= q.eng.Now() {
+			q.eng.Schedule(ev.At, func() { h(ev) })
+		} else {
+			q.eng.Schedule(q.eng.Now(), func() { h(ev) })
+		}
+	}
+}
+
+// OnEvent installs the callback invoked for each appended event.
+func (q *EQ) OnEvent(fn func(Event)) { q.handler = fn }
+
+// Events returns all events appended so far (test/diagnostic use).
+func (q *EQ) Events() []Event { return q.events }
+
+// PollUpTo returns events visible at or before now, in visibility order.
+func (q *EQ) PollUpTo(now sim.Time) []Event {
+	var out []Event
+	for _, ev := range q.events {
+		if ev.At <= now {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// trigger is one armed threshold action on a counter.
+type trigger struct {
+	threshold uint64
+	fn        func(now sim.Time)
+	fired     bool
+}
+
+// CT is a counting event (§3.1): a success counter with threshold triggers,
+// the mechanism behind Portals 4 triggered operations.
+type CT struct {
+	eng      *sim.Engine
+	count    uint64
+	failures uint64
+	triggers []*trigger
+}
+
+// NewCT allocates a counter on the engine.
+func NewCT(eng *sim.Engine) *CT { return &CT{eng: eng} }
+
+// Get returns the current success count.
+func (ct *CT) Get() uint64 { return ct.count }
+
+// Failures returns the failure count.
+func (ct *CT) Failures() uint64 { return ct.failures }
+
+// Set overwrites the counter (PtlCTSet) and fires any newly reached
+// triggers.
+func (ct *CT) Set(now sim.Time, v uint64) {
+	ct.count = v
+	ct.fire(now)
+}
+
+// Inc adds n successes (PtlCTInc) and fires any newly reached triggers.
+func (ct *CT) Inc(now sim.Time, n uint64) {
+	ct.count += n
+	ct.fire(now)
+}
+
+// IncFailure records a failure.
+func (ct *CT) IncFailure(now sim.Time) { ct.failures++ }
+
+// OnReach arms fn to run once when the counter reaches threshold. If the
+// threshold has already been reached the action fires immediately.
+func (ct *CT) OnReach(threshold uint64, fn func(now sim.Time)) {
+	tr := &trigger{threshold: threshold, fn: fn}
+	ct.triggers = append(ct.triggers, tr)
+	if ct.count >= threshold {
+		tr.fired = true
+		ct.eng.Schedule(ct.eng.Now(), func() { fn(ct.eng.Now()) })
+	}
+}
+
+func (ct *CT) fire(now sim.Time) {
+	for _, tr := range ct.triggers {
+		if !tr.fired && ct.count >= tr.threshold {
+			tr.fired = true
+			fn := tr.fn
+			ct.eng.Schedule(now, func() { fn(ct.eng.Now()) })
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package portals
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// ME is a matching list entry (§3.1) with the sPIN extensions of Appendix
+// B.1: three optional handlers, an HPU memory handle, initial HPU state,
+// and an auxiliary host-memory region for handler output.
+type ME struct {
+	// Start is the host-memory region the entry steers into.
+	Start []byte
+	// MatchBits/IgnoreBits implement 64-bit masked matching.
+	MatchBits  uint64
+	IgnoreBits uint64
+	// MatchSource restricts matching to one source rank when >= 0.
+	MatchSource int
+	// UseOnce unlinks the entry after its first match.
+	UseOnce bool
+	// ManageLocal enables locally-managed offsets: incoming messages are
+	// packed back-to-back regardless of their requested offset.
+	ManageLocal bool
+	// CT/EQ receive completion notifications.
+	CT *CT
+	EQ *EQ
+
+	// Handlers are the sPIN extensions; all-nil means plain Portals.
+	Handlers core.HandlerSet
+	// HPUMem is the handler shared-memory handle (PtlHPUAllocMem).
+	HPUMem *core.HPUMem
+	// InitialState, when non-nil, is copied into HPUMem at append time.
+	InitialState []byte
+	// HandlerHostMem is the optional second host region (Appendix B.2).
+	HandlerHostMem []byte
+
+	ni          *NI
+	pte         *PTEntry
+	list        ListKind
+	unlinked    bool
+	localOffset int64
+	mectx       *core.MEContext
+}
+
+// Unlinked reports whether the entry has been consumed or removed.
+func (me *ME) Unlinked() bool { return me.unlinked }
+
+// LocalOffset returns the next locally-managed offset (test/diagnostics).
+func (me *ME) LocalOffset() int64 { return me.localOffset }
+
+// matches implements Portals 4 masked matching.
+func (me *ME) matches(m *netsim.Message) bool {
+	if me.unlinked {
+		return false
+	}
+	if me.MatchSource >= 0 && me.MatchSource != m.Src {
+		return false
+	}
+	return (m.MatchBits^me.MatchBits)&^me.IgnoreBits == 0
+}
+
+// MEAppend validates and installs an entry on a portal table list
+// (PtlMEAppend with the sPIN extensions). It builds the core.MEContext that
+// connects matched messages to the HPU runtime.
+func (ni *NI) MEAppend(ptIndex int, me *ME, list ListKind) error {
+	pte := ni.pt[ptIndex]
+	if pte == nil {
+		return fmt.Errorf("portals: PT index %d not allocated", ptIndex)
+	}
+	if me.ni != nil {
+		return fmt.Errorf("portals: ME already appended")
+	}
+	if len(me.InitialState) > ni.Limits.MaxInitialState {
+		return fmt.Errorf("portals: initial state of %d bytes exceeds max_initial_state %d",
+			len(me.InitialState), ni.Limits.MaxInitialState)
+	}
+	if me.InitialState != nil && me.HPUMem == nil {
+		return fmt.Errorf("portals: initial state requires HPU memory")
+	}
+	if me.InitialState != nil && len(me.InitialState) > len(me.HPUMem.Buf) {
+		return fmt.Errorf("portals: initial state of %d bytes exceeds HPU memory of %d",
+			len(me.InitialState), len(me.HPUMem.Buf))
+	}
+	if !me.Handlers.Empty() && me.HPUMem != nil && len(me.HPUMem.Buf) > ni.Limits.MaxHandlerMem {
+		return fmt.Errorf("portals: HPU memory of %d bytes exceeds max_handler_mem %d",
+			len(me.HPUMem.Buf), ni.Limits.MaxHandlerMem)
+	}
+	me.ni = ni
+	me.pte = pte
+	me.list = list
+	if me.MatchSource == 0 {
+		// Zero value means "any source" unless the user set it explicitly;
+		// use -1 internally for wildcard. Callers wanting source 0 only
+		// must set MatchSource after construction via MatchExactSource.
+		me.MatchSource = -1
+	}
+	if me.InitialState != nil {
+		copy(me.HPUMem.Buf, me.InitialState)
+	}
+	me.mectx = ni.buildMEContext(me)
+	if list == PriorityList {
+		pte.priority = append(pte.priority, me)
+	} else {
+		pte.overflow = append(pte.overflow, me)
+	}
+	return nil
+}
+
+// MatchExactSource restricts the entry to messages from rank src (call
+// before MEAppend; needed for src == 0 because the zero value is wildcard).
+func (me *ME) MatchExactSource(src int) *ME {
+	me.MatchSource = src
+	return me
+}
+
+// Unlink removes the entry from its list (PtlMEUnlink).
+func (me *ME) Unlink() { me.unlinked = true }
+
+// buildMEContext wires an ME to the sPIN runtime: completion events,
+// counter increments, and handler-issued gets.
+func (ni *NI) buildMEContext(me *ME) *core.MEContext {
+	return &core.MEContext{
+		Handlers:       me.Handlers,
+		State:          me.HPUMem,
+		HostMem:        me.Start,
+		HandlerHostMem: me.HandlerHostMem,
+		OnComplete: func(now sim.Time, r core.MessageResult) {
+			ni.finishMessage(now, me, r)
+		},
+		OnCTInc: func(now sim.Time, n uint64) {
+			if me.CT != nil {
+				me.CT.Inc(now, n)
+			}
+		},
+		IssueGet: func(now sim.Time, req core.GetRequest) {
+			ni.handlerGet(now, me, req)
+		},
+	}
+}
+
+// handlerGet implements the PtlHandlerGet plumbing: an OpGet is injected
+// from the device and its reply is deposited into the issuing ME's host
+// memory at req.LocalOffset.
+func (ni *NI) handlerGet(now sim.Time, me *ME, req core.GetRequest) {
+	m := &netsim.Message{
+		Type:      netsim.OpGet,
+		Src:       ni.Node.Rank,
+		Dst:       req.Target,
+		PTIndex:   req.PTIndex,
+		MatchBits: req.MatchBits,
+		Offset:    req.RemoteOffset,
+		HdrData:   req.HdrData,
+		GetLength: req.Length,
+	}
+	m.ID = ni.C.NextID()
+	ni.outstanding[m.ID] = &pendingOp{
+		dest:    me.Start,
+		destOff: req.LocalOffset,
+		onDone:  req.OnDone,
+		total:   ni.C.P.Packets(req.Length),
+	}
+	ni.C.DeviceSend(now, m)
+}
+
+// match searches the priority list and then the overflow list.
+func (pte *PTEntry) match(m *netsim.Message) (me *ME, overflow bool) {
+	for _, e := range pte.priority {
+		if e.matches(m) {
+			return e, false
+		}
+	}
+	for _, e := range pte.overflow {
+		if e.matches(m) {
+			return e, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,346 @@
+// Package portals implements the Portals 4 network programming interface
+// (§3.1) over the simulated NIC, extended with the P4sPIN handler interface
+// of §3.2 / Appendix B. It provides logical network interfaces with matched
+// portal table entries, memory descriptors, event queues, counting events
+// with triggered operations, locally-managed offsets, and flow control —
+// the substrate both the paper's baselines (RDMA-style puts, triggered-op
+// collectives) and sPIN itself are built on.
+package portals
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Limits mirrors the NI limits structure with the sPIN additions of
+// Appendix B.2.1.
+type Limits struct {
+	MaxUserHdrSize        int
+	MaxPayloadSize        int
+	MaxHandlerMem         int
+	MaxInitialState       int
+	MinFragmentationLimit int
+	MaxCyclesPerByte      int
+	MaxPTEntries          int
+}
+
+// DefaultLimits returns the limits used throughout the paper's experiments.
+func DefaultLimits(mtu int) Limits {
+	return Limits{
+		MaxUserHdrSize:        64,
+		MaxPayloadSize:        mtu,
+		MaxHandlerMem:         core.DefaultHPUMemCapacity,
+		MaxInitialState:       4096,
+		MinFragmentationLimit: 64,
+		MaxCyclesPerByte:      16,
+		MaxPTEntries:          64,
+	}
+}
+
+// ListKind selects the ME list of a portal table entry.
+type ListKind int
+
+const (
+	// PriorityList is searched first.
+	PriorityList ListKind = iota
+	// OverflowList catches messages no priority entry matched
+	// (unexpected messages).
+	OverflowList
+)
+
+// PTEntry is one portal table entry: two match lists plus enable state.
+type PTEntry struct {
+	Index    int
+	Enabled  bool
+	EQ       *EQ
+	priority []*ME
+	overflow []*ME
+}
+
+// AtomicOp enumerates the Portals atomic operations this implementation
+// supports.
+type AtomicOp uint8
+
+const (
+	// AtomicSum adds 64-bit little-endian integers elementwise.
+	AtomicSum AtomicOp = iota + 1
+	// AtomicBXOR xors bytes elementwise.
+	AtomicBXOR
+	// AtomicSwap replaces target bytes and returns nothing (put-like).
+	AtomicSwap
+)
+
+// pendingOp tracks a get or ack outstanding at the initiator.
+type pendingOp struct {
+	dest    []byte
+	destOff int64
+	md      *MD
+	onDone  func(now sim.Time)
+	total   int
+	arrived int
+	visible sim.Time
+}
+
+// NI is a logical network interface bound to one node. It implements
+// netsim.Receiver and owns the node's sPIN runtime.
+type NI struct {
+	C      *netsim.Cluster
+	Node   *netsim.Node
+	RT     *core.Runtime
+	Limits Limits
+
+	pt          map[int]*PTEntry
+	outstanding map[uint64]*pendingOp
+	recvStates  map[*netsim.Message]*recvState
+	channels    map[*netsim.Message]*ME
+
+	// Drops counts packets discarded because no ME matched or the portal
+	// was disabled.
+	Drops uint64
+}
+
+// NewNI creates the logical interface for rank and installs it as the
+// node's packet receiver.
+func NewNI(c *netsim.Cluster, rank int) *NI {
+	node := c.Nodes[rank]
+	ni := &NI{
+		C:           c,
+		Node:        node,
+		RT:          core.NewRuntime(c, node),
+		Limits:      DefaultLimits(c.P.MTU),
+		pt:          make(map[int]*PTEntry),
+		outstanding: make(map[uint64]*pendingOp),
+		recvStates:  make(map[*netsim.Message]*recvState),
+		channels:    make(map[*netsim.Message]*ME),
+	}
+	node.Recv = ni
+	return ni
+}
+
+// Setup creates one NI per node and returns them.
+func Setup(c *netsim.Cluster) []*NI {
+	nis := make([]*NI, len(c.Nodes))
+	for i := range c.Nodes {
+		nis[i] = NewNI(c, i)
+	}
+	return nis
+}
+
+// PTAlloc allocates portal table entry index with an optional event queue
+// for full events and flow-control notification.
+func (ni *NI) PTAlloc(index int, eq *EQ) (*PTEntry, error) {
+	if index < 0 || index >= ni.Limits.MaxPTEntries {
+		return nil, fmt.Errorf("portals: PT index %d out of range", index)
+	}
+	if _, dup := ni.pt[index]; dup {
+		return nil, fmt.Errorf("portals: PT index %d already allocated", index)
+	}
+	pte := &PTEntry{Index: index, Enabled: true, EQ: eq}
+	ni.pt[index] = pte
+	return pte, nil
+}
+
+// PTEnable re-enables a portal entry after flow control.
+func (ni *NI) PTEnable(index int) {
+	if pte := ni.pt[index]; pte != nil {
+		pte.Enabled = true
+	}
+}
+
+// PTDisable disables a portal entry (as flow control does).
+func (ni *NI) PTDisable(index int) {
+	if pte := ni.pt[index]; pte != nil {
+		pte.Enabled = false
+	}
+}
+
+// MD is a memory descriptor: local memory an initiator sends from or
+// receives get replies into, with optional counter and event queue.
+type MD struct {
+	Buf []byte
+	CT  *CT
+	EQ  *EQ
+}
+
+// MDBind creates a memory descriptor over buf.
+func (ni *NI) MDBind(buf []byte, ct *CT, eq *EQ) *MD {
+	return &MD{Buf: buf, CT: ct, EQ: eq}
+}
+
+// PutArgs collects the arguments of PtlPut and its triggered/handler
+// variants.
+type PutArgs struct {
+	MD           *MD
+	LocalOffset  int64
+	Length       int
+	Target       int
+	PTIndex      int
+	MatchBits    uint64
+	RemoteOffset int64
+	HdrData      uint64
+	UserHdr      []byte
+	AckReq       bool
+	// NoData sends a timing-only message (no payload bytes simulated);
+	// used by large-scale trace replays.
+	NoData bool
+}
+
+func (ni *NI) buildPut(a PutArgs) (*netsim.Message, error) {
+	if len(a.UserHdr) > ni.Limits.MaxUserHdrSize {
+		return nil, fmt.Errorf("portals: user header of %d bytes exceeds limit %d", len(a.UserHdr), ni.Limits.MaxUserHdrSize)
+	}
+	var data []byte
+	if !a.NoData && a.MD != nil {
+		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
+			return nil, fmt.Errorf("portals: put [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
+		}
+		data = make([]byte, a.Length)
+		copy(data, a.MD.Buf[a.LocalOffset:])
+	}
+	m := &netsim.Message{
+		Type:      netsim.OpPut,
+		Src:       ni.Node.Rank,
+		Dst:       a.Target,
+		PTIndex:   a.PTIndex,
+		MatchBits: a.MatchBits,
+		Offset:    a.RemoteOffset,
+		HdrData:   a.HdrData,
+		UserHdr:   a.UserHdr,
+		Length:    a.Length,
+		Data:      data,
+		AckReq:    a.AckReq,
+	}
+	m.ID = ni.C.NextID()
+	if a.AckReq {
+		ni.outstanding[m.ID] = &pendingOp{md: a.MD, total: 1}
+	}
+	if a.MD != nil && (a.MD.CT != nil || a.MD.EQ != nil) {
+		md := a.MD
+		m.OnDelivered = func(now sim.Time) {
+			if md.CT != nil {
+				md.CT.Inc(now, 1)
+			}
+			if md.EQ != nil {
+				md.EQ.Append(Event{Type: EventSend, At: now, Length: a.Length})
+			}
+		}
+	}
+	return m, nil
+}
+
+// Put posts a put operation from the host at time now: the host core is
+// charged the injection overhead o, then the NIC streams the message. It
+// returns the time the posting core is free.
+func (ni *NI) Put(now sim.Time, a PutArgs) (sim.Time, error) {
+	m, err := ni.buildPut(a)
+	if err != nil {
+		return now, err
+	}
+	return ni.C.HostSend(now, m), nil
+}
+
+// DevicePut injects a put directly from the NIC (triggered operations and
+// protocol machinery): no host-core overhead.
+func (ni *NI) DevicePut(now sim.Time, a PutArgs) error {
+	m, err := ni.buildPut(a)
+	if err != nil {
+		return err
+	}
+	ni.C.DeviceSend(now, m)
+	return nil
+}
+
+// GetArgs collects the arguments of PtlGet.
+type GetArgs struct {
+	MD           *MD
+	LocalOffset  int64
+	Length       int
+	Target       int
+	PTIndex      int
+	MatchBits    uint64
+	RemoteOffset int64
+	HdrData      uint64
+	OnDone       func(now sim.Time)
+}
+
+func (ni *NI) buildGet(a GetArgs) (*netsim.Message, error) {
+	if a.MD != nil {
+		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
+			return nil, fmt.Errorf("portals: get reply [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
+		}
+	}
+	m := &netsim.Message{
+		Type:      netsim.OpGet,
+		Src:       ni.Node.Rank,
+		Dst:       a.Target,
+		PTIndex:   a.PTIndex,
+		MatchBits: a.MatchBits,
+		Offset:    a.RemoteOffset,
+		HdrData:   a.HdrData,
+		GetLength: a.Length,
+	}
+	m.ID = ni.C.NextID()
+	op := &pendingOp{md: a.MD, destOff: a.LocalOffset, onDone: a.OnDone}
+	if a.MD != nil {
+		op.dest = a.MD.Buf
+	}
+	op.total = ni.C.P.Packets(a.Length)
+	ni.outstanding[m.ID] = op
+	return m, nil
+}
+
+// Get posts a get from the host (charges o) and returns when the core is
+// free. The reply lands in the MD at LocalOffset; completion raises a reply
+// event / CT increment on the MD.
+func (ni *NI) Get(now sim.Time, a GetArgs) (sim.Time, error) {
+	m, err := ni.buildGet(a)
+	if err != nil {
+		return now, err
+	}
+	return ni.C.HostSend(now, m), nil
+}
+
+// DeviceGet injects a get from the NIC.
+func (ni *NI) DeviceGet(now sim.Time, a GetArgs) error {
+	m, err := ni.buildGet(a)
+	if err != nil {
+		return err
+	}
+	ni.C.DeviceSend(now, m)
+	return nil
+}
+
+// Atomic posts an atomic operation (host-initiated). The payload in the MD
+// is applied to the target ME with the given operation.
+func (ni *NI) Atomic(now sim.Time, a PutArgs, op AtomicOp) (sim.Time, error) {
+	m, err := ni.buildPut(a)
+	if err != nil {
+		return now, err
+	}
+	m.Type = netsim.OpAtomic
+	m.AtomicOp = uint8(op)
+	return ni.C.HostSend(now, m), nil
+}
+
+// TriggeredPut arms a put that fires from the NIC when ct reaches
+// threshold (PtlTriggeredPut). The data is read from the MD when the
+// trigger fires, matching triggered-operation semantics.
+func (ni *NI) TriggeredPut(a PutArgs, ct *CT, threshold uint64) {
+	ct.OnReach(threshold, func(now sim.Time) {
+		if err := ni.DevicePut(now, a); err != nil {
+			panic(fmt.Sprintf("portals: triggered put failed: %v", err))
+		}
+	})
+}
+
+// TriggeredGet arms a get that fires when ct reaches threshold.
+func (ni *NI) TriggeredGet(a GetArgs, ct *CT, threshold uint64) {
+	ct.OnReach(threshold, func(now sim.Time) {
+		if err := ni.DeviceGet(now, a); err != nil {
+			panic(fmt.Sprintf("portals: triggered get failed: %v", err))
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package sim
+
+// Intervals is a unit-capacity resource that accepts reservations in any
+// time order: Acquire finds the earliest gap of the requested width at or
+// after the requested time. The DMA bus needs this: a handler computes for
+// hundreds of nanoseconds between its read and its write-back, and other
+// initiators' transactions must be able to slot into that window (a plain
+// busy-until timeline would head-of-line block them).
+type Intervals struct {
+	Name string
+	// busy holds disjoint reserved intervals sorted by start.
+	busy []ivSpan
+	// floor truncates history: times before it count as busy. It advances
+	// when the interval list is pruned, keeping memory bounded on long
+	// simulations at the cost of slightly conservative early placement.
+	floor Time
+	// Busy accumulates reserved time.
+	Busy Time
+}
+
+type ivSpan struct{ start, end Time }
+
+// maxSpans bounds the interval list; beyond it the oldest half collapses
+// into the floor.
+const maxSpans = 4096
+
+// NewIntervals returns an idle interval resource.
+func NewIntervals(name string) *Intervals { return &Intervals{Name: name} }
+
+// place finds the earliest feasible start >= earliest for a reservation of
+// the given width and the insertion index, without committing.
+func (iv *Intervals) place(earliest, occupancy Time) (start Time, idx int) {
+	if earliest < iv.floor {
+		earliest = iv.floor
+	}
+	start = earliest
+	i := 0
+	for i < len(iv.busy) {
+		sp := iv.busy[i]
+		if sp.end <= start {
+			i++
+			continue
+		}
+		if start+occupancy <= sp.start {
+			break // fits in the gap before span i
+		}
+		// Collide: move past this span.
+		start = sp.end
+		i++
+	}
+	return start, i
+}
+
+// Peek returns where a reservation would start, without reserving.
+func (iv *Intervals) Peek(earliest, occupancy Time) (start Time) {
+	start, _ = iv.place(earliest, occupancy)
+	return start
+}
+
+// Acquire reserves occupancy at the earliest instant >= earliest with a
+// free gap of that width, and returns the reservation start.
+func (iv *Intervals) Acquire(earliest, occupancy Time) (start Time) {
+	start, i := iv.place(earliest, occupancy)
+	iv.Busy += occupancy
+	iv.insert(i, ivSpan{start, start + occupancy})
+	return start
+}
+
+// insert places sp at index i, merging with touching neighbors.
+func (iv *Intervals) insert(i int, sp ivSpan) {
+	if sp.start == sp.end {
+		return // zero-width reservations occupy nothing
+	}
+	// Merge left.
+	if i > 0 && iv.busy[i-1].end == sp.start {
+		iv.busy[i-1].end = sp.end
+		// Merge right if now touching.
+		if i < len(iv.busy) && iv.busy[i].start == sp.end {
+			iv.busy[i-1].end = iv.busy[i].end
+			iv.busy = append(iv.busy[:i], iv.busy[i+1:]...)
+		}
+		iv.prune()
+		return
+	}
+	// Merge right.
+	if i < len(iv.busy) && iv.busy[i].start == sp.end {
+		iv.busy[i].start = sp.start
+		iv.prune()
+		return
+	}
+	iv.busy = append(iv.busy, ivSpan{})
+	copy(iv.busy[i+1:], iv.busy[i:])
+	iv.busy[i] = sp
+	iv.prune()
+}
+
+func (iv *Intervals) prune() {
+	if len(iv.busy) <= maxSpans {
+		return
+	}
+	half := len(iv.busy) / 2
+	iv.floor = iv.busy[half-1].end
+	iv.busy = append(iv.busy[:0], iv.busy[half:]...)
+}
+
+// FreeAt returns the end of the last reservation (the time after which the
+// resource is certainly idle).
+func (iv *Intervals) FreeAt() Time {
+	if len(iv.busy) == 0 {
+		return iv.floor
+	}
+	return iv.busy[len(iv.busy)-1].end
+}
+
+// Utilization returns the busy fraction of [0, now].
+func (iv *Intervals) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(iv.Busy) / float64(now)
+}
+
+// IntervalPool is k identical interval-scheduled servers (the HPU issue
+// units): AcquireAny places work on the server that can start it earliest,
+// allowing later-issued work to backfill idle windows between earlier
+// reservations.
+type IntervalPool struct {
+	Name    string
+	servers []*Intervals
+}
+
+// NewIntervalPool returns a pool of k idle interval servers.
+func NewIntervalPool(name string, k int) *IntervalPool {
+	if k <= 0 {
+		panic("sim: interval pool size must be positive")
+	}
+	p := &IntervalPool{Name: name, servers: make([]*Intervals, k)}
+	for i := range p.servers {
+		p.servers[i] = NewIntervals(name)
+	}
+	return p
+}
+
+// Size returns the number of servers.
+func (p *IntervalPool) Size() int { return len(p.servers) }
+
+// AcquireAny reserves occupancy on the server able to start it earliest
+// (ties toward lower indices) and returns the server index and start time.
+func (p *IntervalPool) AcquireAny(earliest, occupancy Time) (idx int, start Time) {
+	best := 0
+	bestStart := p.servers[0].Peek(earliest, occupancy)
+	for i := 1; i < len(p.servers); i++ {
+		if s := p.servers[i].Peek(earliest, occupancy); s < bestStart {
+			best, bestStart = i, s
+		}
+	}
+	return best, p.servers[best].Acquire(earliest, occupancy)
+}
+
+// Server returns server idx, for utilization queries.
+func (p *IntervalPool) Server(idx int) *Intervals { return p.servers[idx] }

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalsInOrder(t *testing.T) {
+	iv := NewIntervals("bus")
+	if s := iv.Acquire(0, 100); s != 0 {
+		t.Fatalf("first = %v", s)
+	}
+	if s := iv.Acquire(0, 100); s != 100 {
+		t.Fatalf("second = %v", s)
+	}
+	if s := iv.Acquire(500, 100); s != 500 {
+		t.Fatalf("third = %v", s)
+	}
+	if iv.FreeAt() != 600 {
+		t.Fatalf("FreeAt = %v", iv.FreeAt())
+	}
+}
+
+func TestIntervalsBackfillGap(t *testing.T) {
+	iv := NewIntervals("bus")
+	iv.Acquire(0, 100)    // [0,100)
+	iv.Acquire(1000, 100) // [1000,1100)
+	// A later request for an earlier time slots into the gap — the fix
+	// for the head-of-line artifact.
+	if s := iv.Acquire(200, 100); s != 200 {
+		t.Fatalf("backfill = %v, want 200", s)
+	}
+	// A too-wide request skips the remaining gap.
+	if s := iv.Acquire(150, 900); s != 1100 {
+		t.Fatalf("wide = %v, want 1100", s)
+	}
+}
+
+func TestIntervalsExactGapFit(t *testing.T) {
+	iv := NewIntervals("bus")
+	iv.Acquire(0, 100)
+	iv.Acquire(200, 100)
+	if s := iv.Acquire(0, 100); s != 100 {
+		t.Fatalf("exact fit = %v, want 100", s)
+	}
+	// Everything merged into [0,300).
+	if len(iv.busy) != 1 {
+		t.Fatalf("spans = %d, want 1 after merge", len(iv.busy))
+	}
+}
+
+func TestIntervalsZeroOccupancy(t *testing.T) {
+	iv := NewIntervals("bus")
+	iv.Acquire(0, 100)
+	if s := iv.Acquire(50, 0); s != 100 {
+		t.Fatalf("zero-occ inside busy = %v, want 100", s)
+	}
+	if len(iv.busy) != 1 {
+		t.Fatal("zero-width reservation should not be stored")
+	}
+}
+
+func TestIntervalsPruneBoundsMemory(t *testing.T) {
+	iv := NewIntervals("bus")
+	// Disjoint reservations (gap 1 between them) never merge.
+	for i := 0; i < 3*maxSpans; i++ {
+		iv.Acquire(Time(i*3), 2)
+	}
+	if len(iv.busy) > maxSpans+1 {
+		t.Fatalf("interval list grew to %d", len(iv.busy))
+	}
+	if iv.floor == 0 {
+		t.Fatal("floor never advanced")
+	}
+}
+
+// Property: no two reservations overlap.
+func TestIntervalsNoOverlapProperty(t *testing.T) {
+	type req struct{ At, Occ uint16 }
+	f := func(reqs []req) bool {
+		iv := NewIntervals("bus")
+		var got []ivSpan
+		for _, r := range reqs {
+			occ := Time(r.Occ%500) + 1
+			s := iv.Acquire(Time(r.At), occ)
+			if s < Time(r.At) {
+				return false
+			}
+			got = append(got, ivSpan{s, s + occ})
+		}
+		for i := range got {
+			for j := i + 1; j < len(got); j++ {
+				a, b := got[i], got[j]
+				if a.start < b.end && b.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

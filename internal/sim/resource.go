@@ -1,0 +1,120 @@
+package sim
+
+// Resource models a unit-capacity device (a link transmitter, a DMA bus, a
+// matching unit, a CPU core) as a busy-until reservation timeline. Acquire
+// claims the resource for a span of simulated time and returns when the span
+// begins; reservations are granted in call order, which the engine keeps
+// deterministic.
+type Resource struct {
+	Name      string
+	busyUntil Time
+	// Busy accumulates total reserved time, for utilization accounting.
+	Busy Time
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Acquire reserves the resource for occupancy starting no earlier than
+// earliest and returns the actual start time.
+func (r *Resource) Acquire(earliest, occupancy Time) (start Time) {
+	start = earliest
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	r.busyUntil = start + occupancy
+	r.Busy += occupancy
+	return start
+}
+
+// FreeAt returns the earliest instant at which the resource is idle.
+func (r *Resource) FreeAt() Time { return r.busyUntil }
+
+// Utilization returns the fraction of [0, now] the resource spent busy.
+func (r *Resource) Utilization(now Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / float64(now)
+}
+
+// Pool models k identical servers (e.g. HPU contexts or CPU cores) each with
+// its own busy-until timeline. AcquireAny picks the server that can start the
+// work earliest, preferring the lowest index on ties so schedules are
+// deterministic and match the paper's "HPU 0, HPU 1, ..." trace diagrams.
+type Pool struct {
+	Name    string
+	servers []Resource
+}
+
+// NewPool returns a pool of k idle servers.
+func NewPool(name string, k int) *Pool {
+	if k <= 0 {
+		panic("sim: pool size must be positive")
+	}
+	return &Pool{Name: name, servers: make([]Resource, k)}
+}
+
+// Size returns the number of servers.
+func (p *Pool) Size() int { return len(p.servers) }
+
+// AcquireAny reserves occupancy on the server able to start earliest (ties
+// broken toward lower indices) and returns that server's index and the start.
+func (p *Pool) AcquireAny(earliest, occupancy Time) (idx int, start Time) {
+	best := 0
+	bestFree := p.servers[0].busyUntil
+	for i := 1; i < len(p.servers); i++ {
+		if p.servers[i].busyUntil < bestFree {
+			best, bestFree = i, p.servers[i].busyUntil
+		}
+	}
+	start = p.servers[best].Acquire(earliest, occupancy)
+	return best, start
+}
+
+// AcquireAnyBefore reserves like AcquireAny but fails (ok=false, nothing
+// reserved) when no server could begin by the deadline. It models admission
+// control: sPIN drops packets (flow control) instead of queueing unboundedly
+// when all HPU contexts are saturated.
+func (p *Pool) AcquireAnyBefore(earliest, occupancy, deadline Time) (idx int, start Time, ok bool) {
+	best := 0
+	bestFree := p.servers[0].busyUntil
+	for i := 1; i < len(p.servers); i++ {
+		if p.servers[i].busyUntil < bestFree {
+			best, bestFree = i, p.servers[i].busyUntil
+		}
+	}
+	wouldStart := earliest
+	if bestFree > wouldStart {
+		wouldStart = bestFree
+	}
+	if wouldStart > deadline {
+		return 0, 0, false
+	}
+	start = p.servers[best].Acquire(earliest, occupancy)
+	return best, start, true
+}
+
+// ExtendReservation grows server idx's busy window to end at least at until.
+// Handlers whose runtime is only known after execution (cost accounting)
+// reserve a zero-length slot first and extend it when they return.
+func (p *Pool) ExtendReservation(idx int, until Time) {
+	if until > p.servers[idx].busyUntil {
+		p.servers[idx].Busy += until - p.servers[idx].busyUntil
+		p.servers[idx].busyUntil = until
+	}
+}
+
+// FreeAt returns the earliest instant any server is idle.
+func (p *Pool) FreeAt() Time {
+	min := p.servers[0].busyUntil
+	for i := 1; i < len(p.servers); i++ {
+		if p.servers[i].busyUntil < min {
+			min = p.servers[i].busyUntil
+		}
+	}
+	return min
+}
+
+// Server returns server idx's resource, for utilization queries.
+func (p *Pool) Server(idx int) *Resource { return &p.servers[idx] }

@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Schedule(10, func() {
+		trace = append(trace, "a")
+		e.After(5, func() { trace = append(trace, "c") })
+		e.Schedule(12, func() { trace = append(trace, "b") })
+	})
+	end := e.Run()
+	if end != 15 {
+		t.Fatalf("final time %v, want 15", end)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %v, want 20", e.Now())
+	}
+	e.Run()
+	if fired != 2 || e.Now() != 30 {
+		t.Fatalf("after Run: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var got []Time
+		var rec func(depth int)
+		rec = func(depth int) {
+			got = append(got, e.Now())
+			if depth < 3 {
+				for i := 0; i < 2; i++ {
+					e.After(Time(rng.Intn(100)+1), func() { rec(depth + 1) })
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.Schedule(Time(rng.Intn(1000)), func() { rec(0) })
+		}
+		e.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of deadlines, execution visits them in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var got []Time
+		for _, r := range raw {
+			at := Time(r)
+			e.Schedule(at, func() { got = append(got, e.Now()) })
+		}
+		e.Run()
+		want := make([]Time, len(raw))
+		for i, r := range raw {
+			want[i] = Time(r)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ps"},
+		{2 * Nanosecond, "2.000ns"},
+		{1500 * Nanosecond, "1.500us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (1500 * Nanosecond).Microseconds() != 1.5 {
+		t.Error("Microseconds conversion wrong")
+	}
+	if (2500 * Picosecond).Nanoseconds() != 2.5 {
+		t.Error("Nanoseconds conversion wrong")
+	}
+	if (500 * Millisecond).Seconds() != 0.5 {
+		t.Error("Seconds conversion wrong")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("link")
+	s1 := r.Acquire(0, 100)
+	s2 := r.Acquire(0, 100)
+	s3 := r.Acquire(250, 100)
+	if s1 != 0 || s2 != 100 || s3 != 250 {
+		t.Fatalf("starts = %v %v %v, want 0 100 250", s1, s2, s3)
+	}
+	if r.FreeAt() != 350 {
+		t.Fatalf("FreeAt = %v, want 350", r.FreeAt())
+	}
+	if r.Busy != 300 {
+		t.Fatalf("Busy = %v, want 300", r.Busy)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("bus")
+	r.Acquire(0, 250)
+	if u := r.Utilization(1000); u != 0.25 {
+		t.Fatalf("Utilization = %v, want 0.25", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", u)
+	}
+}
+
+func TestPoolPrefersEarliestServer(t *testing.T) {
+	p := NewPool("hpu", 2)
+	i0, s0 := p.AcquireAny(0, 100)
+	i1, s1 := p.AcquireAny(0, 50)
+	i2, s2 := p.AcquireAny(0, 10)
+	if i0 != 0 || s0 != 0 {
+		t.Fatalf("first acquire: idx=%d start=%v", i0, s0)
+	}
+	if i1 != 1 || s1 != 0 {
+		t.Fatalf("second acquire should use idle server 1: idx=%d start=%v", i1, s1)
+	}
+	// server 1 frees at 50, earlier than server 0 at 100.
+	if i2 != 1 || s2 != 50 {
+		t.Fatalf("third acquire: idx=%d start=%v, want 1 at 50", i2, s2)
+	}
+}
+
+func TestPoolAcquireBeforeDeadline(t *testing.T) {
+	p := NewPool("hpu", 1)
+	p.AcquireAny(0, 1000)
+	if _, _, ok := p.AcquireAnyBefore(0, 10, 500); ok {
+		t.Fatal("acquire should fail: server busy past deadline")
+	}
+	if _, start, ok := p.AcquireAnyBefore(0, 10, 1000); !ok || start != 1000 {
+		t.Fatalf("acquire at deadline: ok=%v start=%v", ok, start)
+	}
+}
+
+func TestPoolExtendReservation(t *testing.T) {
+	p := NewPool("hpu", 1)
+	idx, _ := p.AcquireAny(0, 0)
+	p.ExtendReservation(idx, 500)
+	if p.FreeAt() != 500 {
+		t.Fatalf("FreeAt = %v, want 500", p.FreeAt())
+	}
+	p.ExtendReservation(idx, 200) // shrinking is a no-op
+	if p.FreeAt() != 500 {
+		t.Fatalf("FreeAt after shrink attempt = %v, want 500", p.FreeAt())
+	}
+	if p.Server(idx).Busy != 500 {
+		t.Fatalf("Busy = %v, want 500", p.Server(idx).Busy)
+	}
+}
+
+// Property: a unit resource never overlaps reservations and never loses time.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(spans []uint8) bool {
+		r := NewResource("x")
+		prevEnd := Time(0)
+		for _, sp := range spans {
+			occ := Time(sp)
+			start := r.Acquire(0, occ)
+			if start < prevEnd {
+				return false
+			}
+			prevEnd = start + occ
+		}
+		return r.FreeAt() == prevEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(0) did not panic")
+		}
+	}()
+	NewPool("bad", 0)
+}

@@ -1,0 +1,132 @@
+// Package timeline records per-rank component activity (NIC, DMA, HPU n,
+// CPU) during a simulation and renders it as ASCII charts in the style of
+// the paper's Appendix C trace diagrams. Recording is optional: a nil
+// *Recorder is safe to use and costs one branch per span.
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Span is one busy interval of a component.
+type Span struct {
+	Rank  int
+	Lane  string // "CPU", "NIC", "DMA", "HPU 0", ...
+	Start sim.Time
+	End   sim.Time
+	Label string
+}
+
+// Recorder accumulates spans. The zero value is ready to use.
+type Recorder struct {
+	Spans []Span
+}
+
+// Record appends a span. Calling Record on a nil Recorder is a no-op so
+// simulation code can record unconditionally.
+func (r *Recorder) Record(rank int, lane string, start, end sim.Time, label string) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	r.Spans = append(r.Spans, Span{Rank: rank, Lane: lane, Start: start, End: end, Label: label})
+}
+
+// Lanes returns the sorted set of lanes seen for a rank.
+func (r *Recorder) Lanes(rank int) []string {
+	seen := map[string]bool{}
+	for _, s := range r.Spans {
+		if s.Rank == rank {
+			seen[s.Lane] = true
+		}
+	}
+	lanes := make([]string, 0, len(seen))
+	for l := range seen {
+		lanes = append(lanes, l)
+	}
+	sort.Strings(lanes)
+	return lanes
+}
+
+// Ranks returns the sorted set of ranks with any activity.
+func (r *Recorder) Ranks() []int {
+	seen := map[int]bool{}
+	for _, s := range r.Spans {
+		seen[s.Rank] = true
+	}
+	ranks := make([]int, 0, len(seen))
+	for k := range seen {
+		ranks = append(ranks, k)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// End returns the latest span end, i.e. the chart horizon.
+func (r *Recorder) End() sim.Time {
+	var end sim.Time
+	for _, s := range r.Spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// RenderASCII draws one row per (rank, lane) with width columns covering
+// [0, End()]. Busy cells print '#', idle '.', in the spirit of the paper's
+// Appendix C diagrams.
+func (r *Recorder) RenderASCII(w io.Writer, width int) {
+	if width < 10 {
+		width = 10
+	}
+	horizon := r.End()
+	if horizon == 0 {
+		fmt.Fprintln(w, "(no activity recorded)")
+		return
+	}
+	scale := float64(width) / float64(horizon)
+	for _, rank := range r.Ranks() {
+		fmt.Fprintf(w, "Rank %d\n", rank)
+		for _, lane := range r.Lanes(rank) {
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			for _, s := range r.Spans {
+				if s.Rank != rank || s.Lane != lane {
+					continue
+				}
+				lo := int(float64(s.Start) * scale)
+				hi := int(float64(s.End) * scale)
+				if hi <= lo {
+					hi = lo + 1
+				}
+				if hi > width {
+					hi = width
+				}
+				for i := lo; i < hi && i < width; i++ {
+					row[i] = '#'
+				}
+			}
+			fmt.Fprintf(w, "  %-8s %s\n", lane, row)
+		}
+	}
+	fmt.Fprintf(w, "horizon: %v (1 col = %v)\n", horizon, sim.Time(float64(horizon)/float64(width)))
+}
+
+// RenderCSV emits spans as CSV for external plotting.
+func (r *Recorder) RenderCSV(w io.Writer) {
+	fmt.Fprintln(w, "rank,lane,start_ps,end_ps,label")
+	for _, s := range r.Spans {
+		label := strings.ReplaceAll(s.Label, ",", ";")
+		fmt.Fprintf(w, "%d,%s,%d,%d,%s\n", s.Rank, s.Lane, int64(s.Start), int64(s.End), label)
+	}
+}

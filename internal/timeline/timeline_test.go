@@ -1,0 +1,87 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(0, "NIC", 0, 100, "x") // must not panic
+}
+
+func TestRecordNormalizesReversedSpans(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, "DMA", 200, 100, "swapped")
+	if r.Spans[0].Start != 100 || r.Spans[0].End != 200 {
+		t.Fatalf("span = %+v", r.Spans[0])
+	}
+}
+
+func TestLanesAndRanksSorted(t *testing.T) {
+	r := &Recorder{}
+	r.Record(2, "NIC", 0, 10, "")
+	r.Record(0, "HPU 1", 0, 10, "")
+	r.Record(0, "CPU", 5, 15, "")
+	r.Record(0, "DMA", 5, 15, "")
+	if got := r.Ranks(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("ranks = %v", got)
+	}
+	lanes := r.Lanes(0)
+	if len(lanes) != 3 || lanes[0] != "CPU" || lanes[1] != "DMA" || lanes[2] != "HPU 1" {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	if len(r.Lanes(5)) != 0 {
+		t.Fatal("unknown rank has lanes")
+	}
+}
+
+func TestEndIsMaxSpanEnd(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, "NIC", 0, 10, "")
+	r.Record(1, "NIC", 5, 42, "")
+	if r.End() != 42 {
+		t.Fatalf("End = %v", r.End())
+	}
+}
+
+func TestRenderASCIIShowsBusyCells(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, "NIC", 0, 50*sim.Nanosecond, "tx")
+	r.Record(0, "NIC", 50*sim.Nanosecond, 100*sim.Nanosecond, "tx")
+	var buf bytes.Buffer
+	r.RenderASCII(&buf, 20)
+	out := buf.String()
+	if !strings.Contains(out, "Rank 0") || !strings.Contains(out, "NIC") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Fatalf("no busy cells rendered:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	r := &Recorder{}
+	var buf bytes.Buffer
+	r.RenderASCII(&buf, 40)
+	if !strings.Contains(buf.String(), "no activity") {
+		t.Fatal("empty recorder should say so")
+	}
+}
+
+func TestRenderCSVEscapesCommas(t *testing.T) {
+	r := &Recorder{}
+	r.Record(3, "DMA", 1, 2, "a,b")
+	var buf bytes.Buffer
+	r.RenderCSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "rank,lane,start_ps,end_ps,label") {
+		t.Fatal("missing CSV header")
+	}
+	if !strings.Contains(out, "3,DMA,1,2,a;b") {
+		t.Fatalf("bad CSV row:\n%s", out)
+	}
+}

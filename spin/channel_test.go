@@ -1,0 +1,166 @@
+package spin_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/spin"
+)
+
+func TestConnectRunsPerConnectionHandlers(t *testing.T) {
+	cluster, err := spin.NewCluster(3, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 2 installs *different* handlers for its connections with rank
+	// 0 and rank 1 — the paper's per-connection handler property.
+	var from0, from1 int
+	recv0 := make([]byte, 256)
+	if _, err := cluster.Connect(2, 0, spin.ChannelConfig{
+		RecvBuf: recv0,
+		Handlers: spin.HandlerSet{
+			Payload: func(c *spin.Ctx, p spin.Payload) spin.PayloadRC {
+				from0 += p.Size
+				return spin.PayloadDrop
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recv1 := make([]byte, 256)
+	if _, err := cluster.Connect(2, 1, spin.ChannelConfig{
+		RecvBuf: recv1,
+		Handlers: spin.HandlerSet{
+			Payload: func(c *spin.Ctx, p spin.Payload) spin.PayloadRC {
+				from1 += p.Size
+				return spin.PayloadSuccess // falls through without deposit
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Senders open their ends and send.
+	ch0, err := cluster.Connect(0, 2, spin.ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := cluster.Connect(1, 2, spin.ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch0.Send(0, []byte("hello from 0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch1.Send(0, []byte("hi from 1!")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	if from0 != len("hello from 0") || from1 != len("hi from 1!") {
+		t.Fatalf("handler bytes: from0=%d from1=%d", from0, from1)
+	}
+	if ch0.Peer() != 2 || ch1.Peer() != 2 {
+		t.Fatal("peer bookkeeping wrong")
+	}
+}
+
+func TestChannelUserHeader(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.DiscreteNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotHdr []byte
+	if _, err := cluster.Connect(1, 0, spin.ChannelConfig{
+		RecvBuf: make([]byte, 64),
+		Handlers: spin.HandlerSet{
+			Header: func(c *spin.Ctx, h spin.Header) spin.HeaderRC {
+				gotHdr = append([]byte(nil), h.UserHdr...)
+				return spin.Proceed
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cluster.Connect(0, 1, spin.ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.SendWithHeader(0, []byte{7, 7, 7}, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Run()
+	if !bytes.Equal(gotHdr, []byte{7, 7, 7}) {
+		t.Fatalf("user header = %v", gotHdr)
+	}
+}
+
+func TestChannelCloseStopsDelivery(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	recvCh, err := cluster.Connect(1, 0, spin.ChannelConfig{
+		RecvBuf: make([]byte, 64),
+		Handlers: spin.HandlerSet{
+			Header: func(c *spin.Ctx, h spin.Header) spin.HeaderRC {
+				calls++
+				return spin.Proceed
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cluster.Connect(0, 1, spin.ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Send(0, []byte("one"))
+	cluster.Run()
+	recvCh.Close()
+	ch.Send(cluster.Now(), []byte("two"))
+	cluster.Run()
+	if calls != 1 {
+		t.Fatalf("handler ran %d times; channel close ignored", calls)
+	}
+}
+
+func TestConnectSelfRejected(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Connect(0, 0, spin.ChannelConfig{}); err == nil {
+		t.Fatal("self-connection accepted")
+	}
+}
+
+func TestChannelHPUState(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counted uint64
+	if _, err := cluster.Connect(1, 0, spin.ChannelConfig{
+		RecvBuf:      make([]byte, 64),
+		HPUMemBytes:  16,
+		InitialState: []byte{5, 0, 0, 0, 0, 0, 0, 0},
+		Handlers: spin.HandlerSet{
+			Header: func(c *spin.Ctx, h spin.Header) spin.HeaderRC {
+				counted = c.FAdd(0, 1)
+				return spin.Proceed
+			},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cluster.Connect(0, 1, spin.ChannelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Send(0, []byte("x"))
+	cluster.Run()
+	if counted != 5 {
+		t.Fatalf("initial state not visible to handler: FAdd returned %d", counted)
+	}
+}

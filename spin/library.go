@@ -1,0 +1,96 @@
+package spin
+
+import "repro/internal/handlers"
+
+// The handler library: ready-made handler sets for every use case in the
+// paper (Appendix C.3 and §5.4). Each constructor returns a HandlerSet to
+// attach to an ME.
+var (
+	// PingPong builds the Appendix C.3.1 ping-pong handlers.
+	PingPong = handlers.PingPong
+	// Accumulate builds the Appendix C.3.2 accumulate handlers.
+	Accumulate = handlers.Accumulate
+	// Bcast builds the Appendix C.3.3 binomial-broadcast handlers.
+	Bcast = handlers.Bcast
+	// DDTVector builds the Appendix C.3.4 strided-datatype handlers.
+	DDTVector = handlers.DDTVector
+	// RaidPrimaryWrite builds the Appendix C.3.5 data-server handlers.
+	RaidPrimaryWrite = handlers.RaidPrimaryWrite
+	// RaidParityUpdate builds the Appendix C.3.5 parity-server handlers.
+	RaidParityUpdate = handlers.RaidParityUpdate
+	// RaidAckForward builds the ack-relay header handler.
+	RaidAckForward = handlers.RaidAckForward
+	// KVInsert builds the §5.4 key-value insert handler.
+	KVInsert = handlers.KVInsert
+	// Filter builds the §5.4 conditional-read handler.
+	Filter = handlers.Filter
+	// GraphSSSP builds the §5.4 graph-update handler.
+	GraphSSSP = handlers.GraphSSSP
+	// TransLog builds the §5.4 transaction-introspection handler.
+	TransLog = handlers.TransLog
+	// BcastTree builds broadcast handlers over an arbitrary forwarding
+	// tree (pipeline, double tree, ...) — the generality §4.4.3 claims.
+	BcastTree = handlers.BcastTree
+	// BinomialTree and PipelineTree are ready-made forwarding trees.
+	BinomialTree = handlers.BinomialTree
+	PipelineTree = handlers.PipelineTree
+	// FTBcast builds the §5.4 fault-tolerant broadcast dedup handlers.
+	FTBcast = handlers.FTBcast
+	// InitFTBcastState prepares an FT-bcast dedup window.
+	InitFTBcastState = handlers.InitFTBcastState
+)
+
+// Handler-library configuration types.
+type (
+	// PingPongConfig parameterizes PingPong.
+	PingPongConfig = handlers.PingPongConfig
+	// AccumulateConfig parameterizes Accumulate.
+	AccumulateConfig = handlers.AccumulateConfig
+	// BcastConfig parameterizes Bcast.
+	BcastConfig = handlers.BcastConfig
+	// DDTConfig parameterizes DDTVector (use InitDDTState).
+	DDTConfig = handlers.DDTConfig
+	// RaidPrimaryConfig parameterizes RaidPrimaryWrite.
+	RaidPrimaryConfig = handlers.RaidPrimaryConfig
+	// RaidParityConfig parameterizes RaidParityUpdate.
+	RaidParityConfig = handlers.RaidParityConfig
+	// KVUserHdr is the user header of a KV insert message.
+	KVUserHdr = handlers.KVUserHdr
+	// FilterRequest is the user header of a conditional read.
+	FilterRequest = handlers.FilterRequest
+	// Tree computes forwarding children for BcastTree.
+	Tree = handlers.Tree
+	// FTBcastConfig parameterizes FTBcast.
+	FTBcastConfig = handlers.FTBcastConfig
+)
+
+// Handler-library helpers re-exported for applications.
+var (
+	// InitDDTState writes datatype parameters into HPU memory.
+	InitDDTState = handlers.InitDDTState
+	// EncodeKVUserHdr serializes a KV insert user header.
+	EncodeKVUserHdr = handlers.EncodeKVUserHdr
+	// KVInitIndex prepares a KV index region.
+	KVInitIndex = handlers.KVInitIndex
+	// KVLookup searches the KV table from the host.
+	KVLookup = handlers.KVLookup
+	// EncodeFilterRequest serializes a conditional-read request.
+	EncodeFilterRequest = handlers.EncodeFilterRequest
+	// EncodeGraphUpdate appends a graph update record.
+	EncodeGraphUpdate = handlers.EncodeGraphUpdate
+	// HostAccumulate is the CPU reference accumulate.
+	HostAccumulate = handlers.HostAccumulate
+)
+
+// Handler-library state sizes (bytes of HPU memory each ME needs).
+const (
+	PingPongStateBytes   = handlers.PingPongStateBytes
+	AccumulateStateBytes = handlers.AccumulateStateBytes
+	BcastStateBytes      = handlers.BcastStateBytes
+	DDTStateBytes        = handlers.DDTStateBytes
+	RaidStateBytes       = handlers.RaidStateBytes
+	KVStateBytes         = handlers.KVStateBytes
+	GraphStateBytes      = handlers.GraphStateBytes
+	FTBcastStateBytes    = handlers.FTBcastStateBytes
+	RaidParityTag        = handlers.ParityTag
+)

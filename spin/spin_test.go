@@ -1,0 +1,116 @@
+package spin_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/spin"
+)
+
+// TestQuickstartFlow exercises the documented public-API flow end to end:
+// install handlers on rank 1, put from rank 0, observe the echo.
+func TestQuickstartFlow(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := cluster.NI(1)
+	if _, err := target.PTAlloc(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	mem, err := target.RT.AllocHPUMem(spin.PingPongStateBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.MEAppend(0, &spin.ME{
+		Start:     make([]byte, 4096),
+		MatchBits: 1,
+		HPUMem:    mem,
+		Handlers:  spin.PingPong(spin.PingPongConfig{ReplyPT: 0, ReplyBits: 1, Streaming: true, MaxSize: 1 << 30}),
+	}, spin.PriorityList); err != nil {
+		t.Fatal(err)
+	}
+
+	origin := cluster.NI(0)
+	if _, err := origin.PTAlloc(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	pong := make([]byte, 4096)
+	ct := cluster.NewCT()
+	if err := origin.MEAppend(0, &spin.ME{Start: pong, MatchBits: 1, CT: ct}, spin.PriorityList); err != nil {
+		t.Fatal(err)
+	}
+
+	ping := []byte("hello, network accelerator")
+	if _, err := origin.Put(0, spin.PutArgs{
+		MD: origin.MDBind(ping, nil, nil), Length: len(ping),
+		Target: 1, PTIndex: 0, MatchBits: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	end := cluster.Run()
+	if !bytes.Equal(pong[:len(ping)], ping) {
+		t.Fatal("echo mismatch through public API")
+	}
+	if ct.Get() != 1 {
+		t.Fatalf("CT = %d", ct.Get())
+	}
+	if end <= 0 || end > 10*spin.Microsecond {
+		t.Fatalf("implausible end time %v", end)
+	}
+}
+
+func TestCustomHandlerThroughPublicAPI(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.DiscreteNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := cluster.NI(1)
+	if _, err := ni.PTAlloc(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 1024)
+	sum := 0
+	if err := ni.MEAppend(0, &spin.ME{
+		Start:      host,
+		IgnoreBits: ^uint64(0),
+		Handlers: spin.HandlerSet{
+			Payload: func(c *spin.Ctx, p spin.Payload) spin.PayloadRC {
+				for _, b := range p.Data {
+					sum += int(b)
+				}
+				c.ChargePerByteMilli(p.Size, 1000)
+				return spin.PayloadDrop // consume, don't deposit
+			},
+		},
+	}, spin.PriorityList); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{2}, 100)
+	cluster.NI(0).Put(0, spin.PutArgs{MD: cluster.NI(0).MDBind(data, nil, nil), Length: 100, Target: 1, PTIndex: 0})
+	cluster.Run()
+	if sum != 200 {
+		t.Fatalf("handler saw sum %d, want 200", sum)
+	}
+	for _, b := range host {
+		if b != 0 {
+			t.Fatal("dropped payload leaked to host memory")
+		}
+	}
+}
+
+func TestTimelineThroughPublicAPI(t *testing.T) {
+	cluster, err := spin.NewCluster(2, spin.IntegratedNIC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := cluster.EnableTimeline()
+	ni := cluster.NI(1)
+	ni.PTAlloc(0, nil)
+	ni.MEAppend(0, &spin.ME{Start: make([]byte, 64), IgnoreBits: ^uint64(0)}, spin.PriorityList)
+	cluster.NI(0).Put(0, spin.PutArgs{Length: 0, Target: 1, PTIndex: 0})
+	cluster.Run()
+	if len(rec.Spans) == 0 {
+		t.Fatal("timeline recorded nothing")
+	}
+}
