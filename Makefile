@@ -1,0 +1,26 @@
+# Tier-1 verification plus a perf smoke: `make check` is the one command
+# CI and contributors run before merging.
+
+GO ?= go
+
+.PHONY: check build test vet bench bench-micro
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# bench regenerates every paper benchmark once, reporting allocations.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem .
+
+# bench-micro runs the hot-path microbenchmarks tracked in BENCH_core.json.
+bench-micro:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/sim ./internal/netsim

@@ -9,6 +9,7 @@
 //	spinbench -scale 4         # subsample sweeps for a quick look
 //	spinbench -csv             # machine-readable output
 //	spinbench -list            # list experiment ids
+//	spinbench -wall            # report wall-clock time per experiment
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -48,6 +50,7 @@ func main() {
 	scale := flag.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiments and exit")
+	wall := flag.Bool("wall", false, "report wall-clock time per experiment on stderr")
 	flag.Parse()
 
 	exps := experiments()
@@ -62,10 +65,14 @@ func main() {
 		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
 			continue
 		}
+		t0 := time.Now()
 		tab, err := e.run(*scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", e.id, err)
 			os.Exit(1)
+		}
+		if *wall {
+			fmt.Fprintf(os.Stderr, "spinbench: %s: %v wall\n", e.id, time.Since(t0).Round(time.Millisecond))
 		}
 		if *csv {
 			tab.CSV(os.Stdout)

@@ -8,4 +8,36 @@
 // directory plus cmd/spinbench. See README.md for a tour, DESIGN.md for the
 // system inventory and per-experiment index, and EXPERIMENTS.md for
 // paper-versus-measured results.
+//
+// # Performance model
+//
+// Every reproduced figure is a sweep over the discrete-event core, so
+// simulator throughput bounds sweep resolution. The hot path is built to
+// process one simulated packet with zero steady-state heap allocations:
+//
+//   - Event cost. The engine (internal/sim) dispatches events from a
+//     hand-specialized 4-ary min-heap over a flat []event slice: one
+//     schedule+dispatch cycle is ~150 ns with 0 allocs/op
+//     (BenchmarkEngineSchedule). Hot callers use Engine.ScheduleCall, which
+//     stores a pre-bound (func(any), pointer-arg) pair in the event instead
+//     of a fresh closure.
+//   - Allocation budget. The transport (internal/netsim) injects a
+//     message's packets as a single walking event chain and draws Packet,
+//     walk, and per-message state (core.msgState, portals.recvState)
+//     objects from free lists, for ~0.03 allocations per simulated packet
+//     end to end (BenchmarkClusterSendLarge: 7 allocs per 256-packet
+//     message). Receivers must not retain a *Packet past ReceivePacket.
+//   - Tracing. timeline.Recorder label formatting is gated on
+//     Recorder.Enabled() at every hot call site, so disabled recording
+//     (the benchmark default) formats and allocates nothing — pinned by
+//     testing.AllocsPerRun tests.
+//   - Determinism invariants. All free lists are engine-owned, not
+//     sync.Pool: the engine is single-threaded and reuse order must be
+//     reproducible. Deferred packet events claim their tie-break positions
+//     via Engine.ReserveSeq at Send time, so the event order — and every
+//     simulated-time output — is bit-identical to eager per-packet
+//     scheduling (verified against the PR-0 engine in BENCH_core.json).
+//
+// BENCH_core.json records the measured trajectory; scripts/check.sh (or
+// `make check`) runs tier-1 plus a perf smoke in one command.
 package repro

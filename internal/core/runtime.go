@@ -68,6 +68,12 @@ type Runtime struct {
 	hpuMemUsed     int
 
 	msgs map[*netsim.Message]*msgState
+	// msFree recycles msgState objects; engine-owned (not sync.Pool) so
+	// reuse order is deterministic.
+	msFree []*msgState
+	// hpuLanes interns the per-context timeline lane names so recording a
+	// handler span never formats.
+	hpuLanes []string
 
 	// Stats
 	HandlerInvocations uint64
@@ -97,6 +103,35 @@ func NewRuntime(c *netsim.Cluster, node *netsim.Node) *Runtime {
 		HPUMemCapacity: DefaultHPUMemCapacity,
 		msgs:           make(map[*netsim.Message]*msgState),
 	}
+}
+
+// hpuLane interns the timeline lane name of HPU context i. Lanes are built
+// on first use so runtimes that never record (the common benchmark case)
+// never format them.
+func (rt *Runtime) hpuLane(i int) string {
+	if rt.hpuLanes == nil {
+		rt.hpuLanes = make([]string, rt.HPUs.Size())
+		for j := range rt.hpuLanes {
+			rt.hpuLanes[j] = fmt.Sprintf("HPU %d", j)
+		}
+	}
+	return rt.hpuLanes[i]
+}
+
+// allocMsgState draws a reset msgState from the free list.
+func (rt *Runtime) allocMsgState() *msgState {
+	if n := len(rt.msFree); n > 0 {
+		ms := rt.msFree[n-1]
+		rt.msFree = rt.msFree[:n-1]
+		*ms = msgState{}
+		return ms
+	}
+	return &msgState{}
+}
+
+// freeMsgState recycles a completed message's state.
+func (rt *Runtime) freeMsgState(ms *msgState) {
+	rt.msFree = append(rt.msFree, ms)
 }
 
 // AllocHPUMem allocates n bytes of HPU scratchpad (PtlHPUAllocMem).
@@ -132,8 +167,11 @@ func (rt *Runtime) Deliver(now sim.Time, pkt *netsim.Packet, me *MEContext) {
 		if !pkt.Header {
 			panic("core: payload packet before header packet")
 		}
-		ms = &msgState{me: me, msg: pkt.Msg, total: rt.C.P.Packets(pkt.Msg.Length)}
-		rt.msgs[pkt.Msg] = ms
+		ms = rt.allocMsgState()
+		ms.me, ms.msg, ms.total = me, pkt.Msg, rt.C.P.Packets(pkt.Msg.Length)
+		if !pkt.Last {
+			rt.msgs[pkt.Msg] = ms
+		}
 	}
 	ms.arrived++
 	if pkt.Header {
@@ -158,7 +196,9 @@ func (rt *Runtime) newCtx(start sim.Time, hpu int, ms *msgState) *Ctx {
 func (rt *Runtime) finishCtx(c *Ctx, ms *msgState, kind string) sim.Time {
 	c.Charge(CostHandlerReturn)
 	rt.HPUs.ExtendReservation(c.hpu, c.now)
-	rt.C.Rec.Record(rt.Node.Rank, fmt.Sprintf("HPU %d", c.hpu), c.start, c.now, kind)
+	if rt.C.Rec.Enabled() {
+		rt.C.Rec.Record(rt.Node.Rank, rt.hpuLane(c.hpu), c.start, c.now, kind)
+	}
 	rt.HandlerInvocations++
 	rt.HandlerCycles += uint64(c.cycles)
 	if c.err != nil && ms.err == nil {
@@ -239,8 +279,10 @@ func (rt *Runtime) handlePayload(now sim.Time, pkt *netsim.Packet, ms *msgState)
 	}
 	switch ms.rc {
 	case Drop:
-		if ms.flowCtl {
-			ms.dropped += 0 // whole message already counted at header
+		// Flow-control drops counted the whole message at the header;
+		// handler-requested drops accumulate per discarded packet.
+		if !ms.flowCtl {
+			ms.dropped += pkt.Size
 		}
 		rt.PacketsDropped++
 	case Proceed:
@@ -281,8 +323,7 @@ func payloadBytes(pkt *netsim.Packet) []byte {
 // deposit performs the default action: DMA the packet payload into the ME's
 // host memory at the message offset.
 func (rt *Runtime) deposit(start sim.Time, pkt *netsim.Packet, ms *msgState) {
-	free, visible := rt.Node.Bus.Write(start, pkt.Size)
-	_ = free
+	_, visible := rt.Node.Bus.Write(start, pkt.Size)
 	rt.C.Rec.Record(rt.Node.Rank, "DMA", start, visible, "deposit")
 	if ms.me.HostMem != nil && pkt.Msg.Data != nil {
 		off := pkt.Msg.Offset + int64(pkt.Offset)
@@ -306,6 +347,13 @@ func (rt *Runtime) maybeComplete(ms *msgState) {
 	end := ms.lastEnd
 	if ms.headerDoneAt > end {
 		end = ms.headerDoneAt
+	}
+	// A message whose packets were all discarded (flow control with no
+	// handler runs after the header) has its last activity at the header,
+	// but it cannot complete before its final packet has arrived — which is
+	// the instant maybeComplete runs.
+	if now := rt.C.Eng.Now(); end < now {
+		end = now
 	}
 	if ms.me.Handlers.Completion != nil {
 		hpu, start := rt.HPUs.AcquireAny(end, 0)
@@ -337,4 +385,5 @@ func (rt *Runtime) maybeComplete(ms *msgState) {
 		done := ms.me.OnComplete
 		rt.C.Eng.Schedule(end, func() { done(rt.C.Eng.Now(), res) })
 	}
+	rt.freeMsgState(ms)
 }

@@ -163,6 +163,72 @@ func TestDroppedBytesCounted(t *testing.T) {
 	}
 }
 
+// TestHeaderDropCountsPayloadBytes pins the dropped-byte accounting for
+// handler-requested drops: every payload byte of a message discarded by a
+// header handler's Drop must be reported to the completion handler, while
+// flow-control drops (counted whole at the header) must not double-count.
+func TestHeaderDropCountsPayloadBytes(t *testing.T) {
+	var gotDropped int
+	var gotFC bool
+	me := &MEContext{Handlers: HandlerSet{
+		Header: func(c *Ctx, h Header) HeaderRC { return Drop },
+		Completion: func(c *Ctx, dropped int, fc bool) CompletionRC {
+			gotDropped, gotFC = dropped, fc
+			return CompletionSuccess
+		},
+	}}
+	h := newHarness(t, netsim.Integrated(), me)
+	h.send(3*4096, nil)
+	h.c.Eng.Run()
+	if gotFC {
+		t.Fatal("handler drop misreported as flow control")
+	}
+	if gotDropped != 3*4096 {
+		t.Fatalf("dropped = %d, want %d", gotDropped, 3*4096)
+	}
+}
+
+// TestFlowControlDropCountsMessageOnce checks a flow-controlled message
+// reports exactly its length as dropped, not length plus per-packet counts.
+func TestFlowControlDropCountsMessageOnce(t *testing.T) {
+	p := netsim.Integrated()
+	p.NumHPUs = 1
+	p.HPUThreads = 1
+	p.FlowDeadline = 100 * sim.Nanosecond
+	var results []MessageResult
+	me := &MEContext{
+		Handlers: HandlerSet{
+			Header: func(c *Ctx, h Header) HeaderRC {
+				c.Charge(1000000) // 400us: saturate the only HPU context
+				return Proceed
+			},
+		},
+		OnComplete: func(now sim.Time, r MessageResult) { results = append(results, r) },
+	}
+	h := newHarness(t, p, me)
+	const size = 3 * 4096
+	for i := 0; i < 4; i++ {
+		h.send(size, nil)
+	}
+	h.c.Eng.Run()
+	if len(results) != 4 {
+		t.Fatalf("completions = %d, want 4", len(results))
+	}
+	sawFC := false
+	for _, r := range results {
+		if !r.FlowControl {
+			continue
+		}
+		sawFC = true
+		if r.DroppedBytes != size {
+			t.Fatalf("flow-controlled message dropped %d bytes, want %d", r.DroppedBytes, size)
+		}
+	}
+	if !sawFC {
+		t.Fatal("no message hit flow control")
+	}
+}
+
 func TestDefaultDepositWritesHostMemory(t *testing.T) {
 	data := make([]byte, 6000)
 	for i := range data {

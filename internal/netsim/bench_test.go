@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sinkReceiver consumes packets like a real Portals layer would, without
+// doing any work, so the benchmark isolates transport costs.
+type sinkReceiver struct{ pkts int }
+
+func (s *sinkReceiver) ReceivePacket(now sim.Time, pkt *Packet) { s.pkts++ }
+
+// BenchmarkClusterSendLarge measures the full per-packet hot path — egress
+// reservation, packet injection, wire flight, matching, and receiver
+// hand-off — for a 1 MiB message (256 MTU packets). allocs/op divided by 256
+// is the allocation budget per simulated packet.
+func BenchmarkClusterSendLarge(b *testing.B) {
+	p := Integrated()
+	const size = 1 << 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := NewCluster(2, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := &sinkReceiver{}
+		c.Nodes[1].Recv = sink
+		b.StartTimer()
+		c.Send(0, &Message{Type: OpPut, Src: 0, Dst: 1, Length: size})
+		last = c.Eng.Run()
+		if sink.pkts != p.Packets(size) {
+			b.Fatalf("delivered %d packets, want %d", sink.pkts, p.Packets(size))
+		}
+	}
+	b.ReportMetric(last.Microseconds(), "simtime-us")
+}
+
+// BenchmarkClusterSendSmall measures the per-message fixed cost with
+// single-packet messages, the shape of the paper's latency-bound workloads.
+func BenchmarkClusterSendSmall(b *testing.B) {
+	p := Integrated()
+	c, err := NewCluster(2, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &sinkReceiver{}
+	c.Nodes[1].Recv = sink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Send(c.Eng.Now(), &Message{Type: OpPut, Src: 0, Dst: 1, Length: 8})
+		c.Eng.Run()
+	}
+}

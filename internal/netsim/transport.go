@@ -68,6 +68,11 @@ type Message struct {
 }
 
 // Packet is one MTU-sized piece of a message.
+//
+// Packet memory is owned by the transport: packets are drawn from a
+// cluster-wide free list when they arrive and recycled as soon as the
+// destination's Receiver returns. Receivers must copy anything they need
+// past the ReceivePacket call and must not retain the pointer.
 type Packet struct {
 	Msg    *Message
 	Index  int  // 0-based packet number
@@ -75,6 +80,10 @@ type Packet struct {
 	Size   int  // payload bytes carried
 	Header bool // true for the first packet (carries header + user header)
 	Last   bool
+
+	// node is the destination, carried so the matched-packet event can be
+	// scheduled without a closure.
+	node *Node
 }
 
 // Receiver consumes matched packets at a node. The Portals layer implements
@@ -105,6 +114,12 @@ type Cluster struct {
 	Nodes  []*Node
 	Rec    *timeline.Recorder // optional; nil disables recording
 	nextID uint64
+
+	// pktFree and walkFree are engine-owned free lists (deliberately not
+	// sync.Pool: the engine is single-threaded and reuse order must be
+	// deterministic for bit-reproducible runs).
+	pktFree  []*Packet
+	walkFree []*msgWalk
 
 	// Stats
 	MessagesSent uint64
@@ -138,6 +153,54 @@ func (c *Cluster) NextID() uint64 {
 	return c.nextID
 }
 
+// msgWalk drives the packet injections of one message through the engine as
+// a single event chain: the walk delivers packet i at its arrival time and
+// reschedules itself for packet i+1, instead of queueing n closures up
+// front. Arrival times are reconstructed incrementally — every non-final
+// packet carries a full MTU, so its egress occupancy is the same — and the
+// event sequence numbers are reserved at Send time, which makes the event
+// order bit-identical to eager per-packet scheduling.
+type msgWalk struct {
+	c       *Cluster
+	dst     *Node
+	msg     *Message
+	length  int      // msg.Length frozen at Send time: packetization must
+	n       int      // not change if the caller mutates msg in flight
+	idx     int      // next packet to deliver
+	seq0    uint64   // reserved sequence number of packet 0's arrival
+	arr     sim.Time // arrival time of packet idx
+	occFull sim.Time // egress occupancy of a full-MTU packet
+	occLast sim.Time // egress occupancy of the final packet
+}
+
+func (c *Cluster) allocWalk() *msgWalk {
+	if n := len(c.walkFree); n > 0 {
+		w := c.walkFree[n-1]
+		c.walkFree = c.walkFree[:n-1]
+		return w
+	}
+	return &msgWalk{}
+}
+
+func (c *Cluster) freeWalk(w *msgWalk) {
+	*w = msgWalk{}
+	c.walkFree = append(c.walkFree, w)
+}
+
+func (c *Cluster) allocPacket() *Packet {
+	if n := len(c.pktFree); n > 0 {
+		p := c.pktFree[n-1]
+		c.pktFree = c.pktFree[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+func (c *Cluster) freePacket(p *Packet) {
+	*p = Packet{}
+	c.pktFree = append(c.pktFree, p)
+}
+
 // Send injects msg at the source NIC no earlier than ready (data available
 // at the NIC) and delivers its packets to the destination's Receiver after
 // matching. The caller is responsible for charging CPU overhead (o) or DMA
@@ -153,42 +216,91 @@ func (c *Cluster) Send(ready sim.Time, msg *Message) {
 	n := c.P.Packets(msg.Length)
 	c.MessagesSent++
 
-	off := 0
-	var lastInjected sim.Time
-	for i := 0; i < n; i++ {
-		size := msg.Length - off
-		if size > c.P.MTU {
-			size = c.P.MTU
-		}
-		pkt := &Packet{
-			Msg:    msg,
-			Index:  i,
-			Offset: off,
-			Size:   size,
-			Header: i == 0,
-			Last:   i == n-1,
-		}
-		occ := c.P.PacketOccupancy(size)
-		start := src.Egress.Acquire(ready, occ)
-		injected := start + occ
-		lastInjected = injected
-		c.Rec.Record(msg.Src, "NIC", start, injected, fmt.Sprintf("tx %s #%d", msg.Type, i))
-		c.PacketsSent++
-		c.BytesSent += uint64(size)
-
-		arrival := injected + lat
-		c.Eng.Schedule(arrival, func() { dst.receive(pkt) })
-		off += size
+	// Every packet except the last carries a full MTU, so egress occupancy
+	// has only two distinct values and the message's back-to-back egress
+	// acquisitions collapse to closed form.
+	var occFull sim.Time
+	if n > 1 {
+		occFull = c.P.PacketOccupancy(c.P.MTU)
 	}
+	occLast := c.P.PacketOccupancy(msg.Length - (n-1)*c.P.MTU)
+	firstOcc := occLast
+	if n > 1 {
+		firstOcc = occFull
+	}
+
+	// One egress reservation for the whole train: the packets inject
+	// back to back, so a single Acquire of the summed occupancy leaves the
+	// same busy-until trajectory as n consecutive acquisitions, in O(1).
+	totalOcc := sim.Time(n-1)*occFull + occLast
+	start := src.Egress.Acquire(ready, totalOcc)
+	firstArrival := start + firstOcc + lat
+	lastInjected := start + totalOcc
+	if c.Rec.Enabled() {
+		s := start
+		for i := 0; i < n; i++ {
+			occ := occFull
+			if i == n-1 {
+				occ = occLast
+			}
+			c.Rec.Record(msg.Src, "NIC", s, s+occ, fmt.Sprintf("tx %s #%d", msg.Type, i))
+			s += occ
+		}
+	}
+	c.PacketsSent += uint64(n)
+	c.BytesSent += uint64(msg.Length)
+
+	w := c.allocWalk()
+	*w = msgWalk{c: c, dst: dst, msg: msg, length: msg.Length, n: n,
+		seq0: c.Eng.ReserveSeq(n), arr: firstArrival, occFull: occFull, occLast: occLast}
+	c.Eng.ScheduleCallSeq(firstArrival, w.seq0, walkDeliver, w)
 	if msg.OnDelivered != nil {
 		done := msg.OnDelivered
 		c.Eng.Schedule(lastInjected, func() { done(c.Eng.Now()) })
 	}
 }
 
+// walkDeliver fires at one packet's arrival instant: it materializes the
+// packet from the free list, hands it to the destination NIC, and
+// reschedules itself for the message's next packet.
+func walkDeliver(a any) {
+	w := a.(*msgWalk)
+	c := w.c
+	i := w.idx
+	off := i * c.P.MTU
+	size := w.length - off
+	if size > c.P.MTU {
+		size = c.P.MTU
+	}
+	if size < 0 {
+		size = 0
+	}
+	pkt := c.allocPacket()
+	pkt.Msg = w.msg
+	pkt.Index = i
+	pkt.Offset = off
+	pkt.Size = size
+	pkt.Header = i == 0
+	pkt.Last = i == w.n-1
+	dst := w.dst
+	w.idx++
+	if w.idx < w.n {
+		if w.idx == w.n-1 {
+			w.arr += w.occLast
+		} else {
+			w.arr += w.occFull
+		}
+		c.Eng.ScheduleCallSeq(w.arr, w.seq0+uint64(w.idx), walkDeliver, w)
+	} else {
+		c.freeWalk(w)
+	}
+	dst.receive(pkt)
+}
+
 // receive runs when a packet reaches the destination NIC: it passes the
 // matching hardware (full match for header packets, CAM lookup otherwise)
-// and is handed to the node's Receiver.
+// and is handed to the node's Receiver. It takes ownership of pkt and
+// recycles it once the Receiver is done.
 func (n *Node) receive(pkt *Packet) {
 	c := n.cluster
 	now := c.Eng.Now()
@@ -198,11 +310,25 @@ func (n *Node) receive(pkt *Packet) {
 	}
 	start := n.MatchHW.Acquire(now, cost)
 	done := start + cost
-	c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index))
-	if n.Recv == nil {
-		return // no consumer installed; packet vanishes (tests only)
+	if c.Rec.Enabled() {
+		c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index))
 	}
-	c.Eng.Schedule(done, func() { n.Recv.ReceivePacket(c.Eng.Now(), pkt) })
+	if n.Recv == nil {
+		c.freePacket(pkt) // no consumer installed; packet vanishes (tests only)
+		return
+	}
+	pkt.node = n
+	c.Eng.ScheduleCall(done, deliverMatched, pkt)
+}
+
+// deliverMatched hands a matched packet to the node's Receiver and recycles
+// it. Receivers must not retain the pointer past the call.
+func deliverMatched(a any) {
+	pkt := a.(*Packet)
+	n := pkt.node
+	c := n.cluster
+	n.Recv.ReceivePacket(c.Eng.Now(), pkt)
+	c.freePacket(pkt)
 }
 
 // HostSend charges the injection overhead o on a host core at time now and
@@ -212,7 +338,9 @@ func (c *Cluster) HostSend(now sim.Time, msg *Message) (coreFree sim.Time) {
 	src := c.Nodes[msg.Src]
 	_, start := src.Cores.AcquireAny(now, c.P.O)
 	coreFree = start + c.P.O
-	c.Rec.Record(msg.Src, "CPU", start, coreFree, "post "+msg.Type.String())
+	if c.Rec.Enabled() {
+		c.Rec.Record(msg.Src, "CPU", start, coreFree, "post "+msg.Type.String())
+	}
 	c.Send(coreFree, msg)
 	return coreFree
 }

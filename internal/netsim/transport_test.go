@@ -7,14 +7,15 @@ import (
 	"repro/internal/sim"
 )
 
-// collector records packet deliveries for assertions.
+// collector records packet deliveries for assertions. It copies each packet:
+// the transport recycles Packet memory after ReceivePacket returns.
 type collector struct {
-	pkts  []*Packet
+	pkts  []Packet
 	times []sim.Time
 }
 
 func (c *collector) ReceivePacket(now sim.Time, pkt *Packet) {
-	c.pkts = append(c.pkts, pkt)
+	c.pkts = append(c.pkts, *pkt)
 	c.times = append(c.times, now)
 }
 

@@ -97,6 +97,10 @@ type NI struct {
 	recvStates  map[*netsim.Message]*recvState
 	channels    map[*netsim.Message]*ME
 
+	// rsFree recycles recvState objects; engine-owned (not sync.Pool) so
+	// reuse order is deterministic.
+	rsFree []*recvState
+
 	// Drops counts packets discarded because no ME matched or the portal
 	// was disabled.
 	Drops uint64

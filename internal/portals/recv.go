@@ -10,6 +10,7 @@ import (
 
 // recvState tracks an in-flight message steered by a plain (handler-less)
 // ME: the default deposit path shared by the RDMA and Portals 4 baselines.
+// Instances are recycled through NI.rsFree once the message completes.
 type recvState struct {
 	me       *ME
 	msg      *netsim.Message
@@ -18,7 +19,6 @@ type recvState struct {
 	arrived  int
 	total    int
 	visible  sim.Time
-	dropped  bool
 }
 
 // eventWriteBytes is the size of a full event DMA'd to host memory.
@@ -66,18 +66,21 @@ func (ni *NI) recvPut(now sim.Time, pkt *netsim.Packet) {
 			msg.Offset = offset
 		}
 		if !me.Handlers.Empty() {
-			ni.channels[msg] = me
+			// Only multi-packet messages need the channel installed: a
+			// single-packet message is done after this Deliver, and the
+			// non-header branch that would delete the entry never runs.
+			if !pkt.Last {
+				ni.channels[msg] = me
+			}
 			ni.RT.Deliver(now, pkt, me.mectx)
 			return
 		}
-		st := &recvState{
-			me:       me,
-			msg:      msg,
-			overflow: overflow,
-			offset:   offset,
-			total:    ni.C.P.Packets(msg.Length),
+		st := ni.allocRecvState()
+		st.me, st.msg, st.overflow = me, msg, overflow
+		st.offset, st.total = offset, ni.C.P.Packets(msg.Length)
+		if !pkt.Last {
+			ni.recvStates[msg] = st
 		}
-		ni.recvStates[msg] = st
 		ni.depositPacket(now, pkt, st)
 		return
 	}
@@ -147,7 +150,24 @@ func (ni *NI) depositPacket(now sim.Time, pkt *netsim.Packet, st *recvState) {
 	if st.arrived == st.total {
 		delete(ni.recvStates, st.msg)
 		ni.completeDeposit(st)
+		ni.freeRecvState(st)
 	}
+}
+
+// allocRecvState draws a reset recvState from the free list.
+func (ni *NI) allocRecvState() *recvState {
+	if n := len(ni.rsFree); n > 0 {
+		st := ni.rsFree[n-1]
+		ni.rsFree = ni.rsFree[:n-1]
+		*st = recvState{}
+		return st
+	}
+	return &recvState{}
+}
+
+// freeRecvState recycles a completed message's deposit state.
+func (ni *NI) freeRecvState(st *recvState) {
+	ni.rsFree = append(ni.rsFree, st)
 }
 
 // completeDeposit fires counters, events, and acks once the whole message

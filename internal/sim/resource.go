@@ -58,16 +58,23 @@ func NewPool(name string, k int) *Pool {
 // Size returns the number of servers.
 func (p *Pool) Size() int { return len(p.servers) }
 
+// earliestServer returns the server that can start new work first (ties
+// broken toward lower indices) and the instant it frees up.
+func (p *Pool) earliestServer() (idx int, free Time) {
+	idx = 0
+	free = p.servers[0].busyUntil
+	for i := 1; i < len(p.servers); i++ {
+		if p.servers[i].busyUntil < free {
+			idx, free = i, p.servers[i].busyUntil
+		}
+	}
+	return idx, free
+}
+
 // AcquireAny reserves occupancy on the server able to start earliest (ties
 // broken toward lower indices) and returns that server's index and the start.
 func (p *Pool) AcquireAny(earliest, occupancy Time) (idx int, start Time) {
-	best := 0
-	bestFree := p.servers[0].busyUntil
-	for i := 1; i < len(p.servers); i++ {
-		if p.servers[i].busyUntil < bestFree {
-			best, bestFree = i, p.servers[i].busyUntil
-		}
-	}
+	best, _ := p.earliestServer()
 	start = p.servers[best].Acquire(earliest, occupancy)
 	return best, start
 }
@@ -77,13 +84,7 @@ func (p *Pool) AcquireAny(earliest, occupancy Time) (idx int, start Time) {
 // control: sPIN drops packets (flow control) instead of queueing unboundedly
 // when all HPU contexts are saturated.
 func (p *Pool) AcquireAnyBefore(earliest, occupancy, deadline Time) (idx int, start Time, ok bool) {
-	best := 0
-	bestFree := p.servers[0].busyUntil
-	for i := 1; i < len(p.servers); i++ {
-		if p.servers[i].busyUntil < bestFree {
-			best, bestFree = i, p.servers[i].busyUntil
-		}
-	}
+	best, bestFree := p.earliestServer()
 	wouldStart := earliest
 	if bestFree > wouldStart {
 		wouldStart = bestFree
@@ -107,13 +108,8 @@ func (p *Pool) ExtendReservation(idx int, until Time) {
 
 // FreeAt returns the earliest instant any server is idle.
 func (p *Pool) FreeAt() Time {
-	min := p.servers[0].busyUntil
-	for i := 1; i < len(p.servers); i++ {
-		if p.servers[i].busyUntil < min {
-			min = p.servers[i].busyUntil
-		}
-	}
-	return min
+	_, free := p.earliestServer()
+	return free
 }
 
 // Server returns server idx's resource, for utilization queries.

@@ -5,12 +5,18 @@
 // in an int64 — far beyond any simulated run. Events scheduled for the same
 // instant fire in scheduling order (a monotonic sequence number breaks ties),
 // so simulations are bit-reproducible across runs.
+//
+// The event queue is a hand-specialized 4-ary min-heap over a flat []event
+// slice: no interface boxing, no container/heap indirection, and popped
+// slots are recycled in place, so steady-state scheduling allocates nothing.
+// Hot callers that would otherwise allocate a fresh closure per event can
+// use ScheduleCall, which carries a pre-bound (func(any), arg) pair instead,
+// and ReserveSeq/ScheduleCallSeq, which let a caller claim a block of
+// sequence numbers up front so deferred scheduling preserves the exact
+// tie-break order of eager scheduling.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulated instant or duration in picoseconds.
 type Time int64
@@ -48,46 +54,38 @@ func (t Time) String() string {
 	}
 }
 
+// event is one queue entry. Exactly one of fn and call is set: fn is the
+// closure form, call+arg the pre-bound form (ScheduleCall).
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	call func(any)
+	arg  any
 }
 
-type eventHeap []event
+// less orders events by deadline, then by sequence number (FIFO at ties).
+func (a *event) less(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // smallest deadline, if any
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
-}
+// heapArity is the fan-out of the event heap. A 4-ary heap halves tree depth
+// versus binary, trading a slightly wider sift-down for far fewer swaps on
+// push — the common operation in a simulation that schedules more than it
+// reorders.
+const heapArity = 4
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
 // for use; create engines with NewEngine.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	events    []event // 4-ary min-heap, specialized (no container/heap)
 	processed uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -98,15 +96,97 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.events) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics: it
-// indicates a model bug (causality violation), and silently clamping would
-// hide it.
-func (e *Engine) Schedule(at Time, fn func()) {
+// push inserts ev, restoring the heap property by sifting up.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !h[i].less(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.events = h
+}
+
+// pop removes and returns the minimum event, sifting down from the root.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop fn/arg references so the GC can reclaim them
+	h = h[:n]
+	i := 0
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if h[j].less(&h[min]) {
+				min = j
+			}
+		}
+		if !h[min].less(&h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.events = h
+	return root
+}
+
+// checkAt panics on scheduling in the past: it indicates a model bug
+// (causality violation), and silently clamping would hide it.
+func (e *Engine) checkAt(at Time) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
+}
+
+// Schedule runs fn at absolute time at.
+func (e *Engine) Schedule(at Time, fn func()) {
+	e.checkAt(at)
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleCall runs fn(arg) at absolute time at. Unlike Schedule, the
+// callback and its argument are stored directly in the event, so callers
+// that reuse a non-capturing fn (and a pooled or pointer-typed arg) schedule
+// without allocating a closure.
+func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) {
+	e.checkAt(at)
+	e.seq++
+	e.push(event{at: at, seq: e.seq, call: fn, arg: arg})
+}
+
+// ReserveSeq claims n consecutive sequence numbers and returns the first.
+// A caller that will schedule n related events lazily (e.g. one packet
+// arrival at a time) reserves their tie-break positions up front, so the
+// eventual ScheduleCallSeq calls fire in exactly the order they would have
+// had they all been scheduled eagerly at reservation time.
+func (e *Engine) ReserveSeq(n int) uint64 {
+	first := e.seq + 1
+	e.seq += uint64(n)
+	return first
+}
+
+// ScheduleCallSeq is ScheduleCall with an explicit sequence number obtained
+// from ReserveSeq. Reusing a sequence number, or inventing one, breaks the
+// engine's determinism contract.
+func (e *Engine) ScheduleCallSeq(at Time, seq uint64, fn func(any), arg any) {
+	e.checkAt(at)
+	e.push(event{at: at, seq: seq, call: fn, arg: arg})
 }
 
 // After runs fn d picoseconds from now.
@@ -117,10 +197,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	if ev.call != nil {
+		ev.call(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -133,11 +217,7 @@ func (e *Engine) Run() Time {
 
 // RunUntil executes events with deadlines <= t, then advances the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		at, ok := e.events.peek()
-		if !ok || at > t {
-			break
-		}
+	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {

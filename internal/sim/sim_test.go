@@ -159,6 +159,78 @@ func TestEngineOrderProperty(t *testing.T) {
 	}
 }
 
+func TestScheduleCallPassesArg(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	fn := func(a any) { got = append(got, a.(int)) }
+	e.ScheduleCall(20, fn, 2)
+	e.ScheduleCall(10, fn, 1)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestReserveSeqPreservesEagerOrder checks the deferred-scheduling contract:
+// events scheduled lazily with reserved sequence numbers tie-break exactly
+// as if they had been scheduled eagerly at reservation time.
+func TestReserveSeqPreservesEagerOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	// Reserve positions for two lazy events first...
+	base := e.ReserveSeq(2)
+	// ...then schedule a competitor at the same instant. Without the
+	// reservation it would fire first (earlier seq).
+	e.Schedule(100, func() { order = append(order, "late") })
+	e.ScheduleCallSeq(100, base, func(a any) {
+		order = append(order, "first")
+		// The second reserved slot is claimed from inside the first event,
+		// still beating the competitor at the same deadline.
+		e.ScheduleCallSeq(100, base+1, func(any) { order = append(order, "second") }, nil)
+	}, nil)
+	e.Run()
+	want := []string{"first", "second", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSteadyStateSchedulingAllocatesNothing pins the zero-allocation hot
+// path: once the heap slice has grown, schedule+dispatch cycles must not
+// allocate.
+func TestSteadyStateSchedulingAllocatesNothing(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	call := func(any) {}
+	for i := 0; i < 256; i++ {
+		e.Schedule(Time(i), fn)
+	}
+	var arg *Engine // pointer arg: no boxing
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.Schedule(e.Now()+5, fn)
+		e.ScheduleCall(e.Now()+3, call, arg)
+		e.Step()
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocated %.1f objects per cycle", allocs)
+	}
+}
+
+func TestScheduleCallSeqPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleCallSeq in the past did not panic")
+		}
+	}()
+	e.ScheduleCallSeq(50, e.ReserveSeq(1), func(any) {}, nil)
+}
+
 func TestTimeString(t *testing.T) {
 	cases := []struct {
 		in   Time

@@ -1,7 +1,13 @@
 // Package timeline records per-rank component activity (NIC, DMA, HPU n,
 // CPU) during a simulation and renders it as ASCII charts in the style of
 // the paper's Appendix C trace diagrams. Recording is optional: a nil
-// *Recorder is safe to use and costs one branch per span.
+// *Recorder is safe to use and costs one branch per span. Hot call sites
+// should gate label construction on Enabled so disabled recording costs
+// nothing:
+//
+//	if rec.Enabled() {
+//		rec.Record(rank, "NIC", start, end, fmt.Sprintf("tx #%d", i))
+//	}
 package timeline
 
 import (
@@ -25,7 +31,23 @@ type Span struct {
 // Recorder accumulates spans. The zero value is ready to use.
 type Recorder struct {
 	Spans []Span
+
+	// index maps (rank, lane) to the positions of that row's spans, so
+	// rendering is linear in the chart instead of quadratic in spans. It is
+	// built lazily on first query and rebuilt whenever Spans has grown.
+	index      map[laneKey][]int32
+	indexedLen int
 }
+
+type laneKey struct {
+	rank int
+	lane string
+}
+
+// Enabled reports whether spans are being recorded. It is the fast path hot
+// code checks before building a span label: when it returns false, skipping
+// the Record call entirely avoids the label's formatting cost.
+func (r *Recorder) Enabled() bool { return r != nil }
 
 // Record appends a span. Calling Record on a nil Recorder is a no-op so
 // simulation code can record unconditionally.
@@ -39,17 +61,39 @@ func (r *Recorder) Record(rank int, lane string, start, end sim.Time, label stri
 	r.Spans = append(r.Spans, Span{Rank: rank, Lane: lane, Start: start, End: end, Label: label})
 }
 
+// Recordf is Record with a deferred-formatted label. On a nil Recorder the
+// label is never built. Call sites hotter than the format cost should still
+// gate on Enabled: the variadic arguments are evaluated (and may allocate)
+// before Recordf can check the receiver.
+func (r *Recorder) Recordf(rank int, lane string, start, end sim.Time, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(rank, lane, start, end, fmt.Sprintf(format, args...))
+}
+
+// build refreshes the (rank, lane) index if spans were added since the last
+// query. Spans are only ever appended, so a stale index is extended, never
+// invalidated.
+func (r *Recorder) build() {
+	if r.index == nil {
+		r.index = make(map[laneKey][]int32)
+	}
+	for i := r.indexedLen; i < len(r.Spans); i++ {
+		k := laneKey{r.Spans[i].Rank, r.Spans[i].Lane}
+		r.index[k] = append(r.index[k], int32(i))
+	}
+	r.indexedLen = len(r.Spans)
+}
+
 // Lanes returns the sorted set of lanes seen for a rank.
 func (r *Recorder) Lanes(rank int) []string {
-	seen := map[string]bool{}
-	for _, s := range r.Spans {
-		if s.Rank == rank {
-			seen[s.Lane] = true
+	r.build()
+	var lanes []string
+	for k := range r.index {
+		if k.rank == rank {
+			lanes = append(lanes, k.lane)
 		}
-	}
-	lanes := make([]string, 0, len(seen))
-	for l := range seen {
-		lanes = append(lanes, l)
 	}
 	sort.Strings(lanes)
 	return lanes
@@ -57,9 +101,10 @@ func (r *Recorder) Lanes(rank int) []string {
 
 // Ranks returns the sorted set of ranks with any activity.
 func (r *Recorder) Ranks() []int {
+	r.build()
 	seen := map[int]bool{}
-	for _, s := range r.Spans {
-		seen[s.Rank] = true
+	for k := range r.index {
+		seen[k.rank] = true
 	}
 	ranks := make([]int, 0, len(seen))
 	for k := range seen {
@@ -72,9 +117,9 @@ func (r *Recorder) Ranks() []int {
 // End returns the latest span end, i.e. the chart horizon.
 func (r *Recorder) End() sim.Time {
 	var end sim.Time
-	for _, s := range r.Spans {
-		if s.End > end {
-			end = s.End
+	for i := range r.Spans {
+		if r.Spans[i].End > end {
+			end = r.Spans[i].End
 		}
 	}
 	return end
@@ -92,18 +137,17 @@ func (r *Recorder) RenderASCII(w io.Writer, width int) {
 		fmt.Fprintln(w, "(no activity recorded)")
 		return
 	}
+	r.build()
 	scale := float64(width) / float64(horizon)
+	row := make([]byte, width)
 	for _, rank := range r.Ranks() {
 		fmt.Fprintf(w, "Rank %d\n", rank)
 		for _, lane := range r.Lanes(rank) {
-			row := make([]byte, width)
 			for i := range row {
 				row[i] = '.'
 			}
-			for _, s := range r.Spans {
-				if s.Rank != rank || s.Lane != lane {
-					continue
-				}
+			for _, si := range r.index[laneKey{rank, lane}] {
+				s := &r.Spans[si]
 				lo := int(float64(s.Start) * scale)
 				hi := int(float64(s.End) * scale)
 				if hi <= lo {

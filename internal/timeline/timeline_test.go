@@ -2,6 +2,7 @@ package timeline
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -10,7 +11,66 @@ import (
 
 func TestNilRecorderIsSafe(t *testing.T) {
 	var r *Recorder
-	r.Record(0, "NIC", 0, 100, "x") // must not panic
+	r.Record(0, "NIC", 0, 100, "x")          // must not panic
+	r.Recordf(0, "NIC", 0, 100, "tx #%d", 1) // must not panic
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+}
+
+func TestEnabledReportsRecording(t *testing.T) {
+	r := &Recorder{}
+	if !r.Enabled() {
+		t.Fatal("live recorder reports disabled")
+	}
+}
+
+func TestRecordfFormatsLabel(t *testing.T) {
+	r := &Recorder{}
+	r.Recordf(1, "NIC", 0, 10, "tx %s #%d", "put", 3)
+	if r.Spans[0].Label != "tx put #3" {
+		t.Fatalf("label = %q", r.Spans[0].Label)
+	}
+}
+
+// TestDisabledRecordingAllocatesNothing pins the hot-path contract: when
+// recording is off, the Enabled() guard must skip label formatting entirely,
+// so a guarded call site performs zero allocations.
+func TestDisabledRecordingAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	typ := "put"
+	idx := 7
+	allocs := testing.AllocsPerRun(200, func() {
+		if r.Enabled() {
+			r.Record(0, "NIC", 0, 10, fmt.Sprintf("tx %s #%d", typ, idx))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recording allocated %.1f objects per span", allocs)
+	}
+}
+
+// TestIndexExtendsAcrossQueries checks the lazy (rank, lane) index picks up
+// spans recorded after a query.
+func TestIndexExtendsAcrossQueries(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, "NIC", 0, 10, "")
+	if got := r.Lanes(0); len(got) != 1 {
+		t.Fatalf("lanes = %v", got)
+	}
+	r.Record(0, "DMA", 5, 15, "")
+	r.Record(1, "CPU", 0, 10, "")
+	if got := r.Lanes(0); len(got) != 2 || got[0] != "DMA" || got[1] != "NIC" {
+		t.Fatalf("lanes after append = %v", got)
+	}
+	if got := r.Ranks(); len(got) != 2 {
+		t.Fatalf("ranks after append = %v", got)
+	}
+	var buf bytes.Buffer
+	r.RenderASCII(&buf, 20)
+	if !strings.Contains(buf.String(), "Rank 1") {
+		t.Fatalf("late rank missing from render:\n%s", buf.String())
+	}
 }
 
 func TestRecordNormalizesReversedSpans(t *testing.T) {

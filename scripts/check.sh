@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — tier-1 verification plus a perf smoke in one command.
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== perf smoke (BenchmarkFig3b, 1x) =="
+go test -run='^$' -bench=BenchmarkFig3b -benchtime=1x -benchmem .
+
+echo "== alloc smoke (BenchmarkClusterSendLarge, hot path) =="
+go test -run='^$' -bench=BenchmarkClusterSendLarge -benchtime=100x -benchmem ./internal/netsim
+
+echo "check.sh: all green"
