@@ -6,83 +6,109 @@
 //
 //	spinbench                  # run everything at full resolution
 //	spinbench -exp fig3b       # one experiment
+//	spinbench -exp fig3b,fig5a # several experiments
 //	spinbench -scale 4         # subsample sweeps for a quick look
+//	spinbench -parallel 0      # shard sweep points across GOMAXPROCS workers
 //	spinbench -csv             # machine-readable output
 //	spinbench -list            # list experiment ids
-//	spinbench -wall            # report wall-clock time per experiment
+//	spinbench -wall            # report wall time + allocations per experiment
+//
+// Parallel runs are byte-identical to serial ones: points are assigned to
+// workers deterministically and merged back in point order, and each worker
+// reuses its clusters via netsim's Reset, which is simulation-equivalent to
+// rebuilding them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
-type experiment struct {
-	id   string
-	desc string
-	run  func(scale int) (*bench.Table, error)
-}
-
-func experiments() []experiment {
-	return []experiment{
-		{"fig3b", "ping-pong, integrated NIC", bench.Fig3b},
-		{"fig3c", "ping-pong, discrete NIC", bench.Fig3c},
-		{"fig3d", "remote accumulate, both NICs", bench.Fig3d},
-		{"fig4", "HPUs needed for line rate (model)", func(int) (*bench.Table, error) { return bench.Fig4(), nil }},
-		{"fig5a", "binomial broadcast, discrete NIC", bench.Fig5a},
-		{"table5c", "application speedups from offloaded matching", bench.Table5c},
-		{"fig7a", "strided datatype receive", bench.Fig7a},
-		{"fig7c", "distributed RAID-5 update", bench.Fig7c},
-		{"spc", "SPC storage trace replay on RAID-5", func(int) (*bench.Table, error) { return bench.SPCTraces() }},
-		{"noise", "ablation: OS-noise sensitivity", func(int) (*bench.Table, error) { return bench.AblationNoise() }},
-		{"bcast-store", "ablation: store-and-forward vs streaming", func(int) (*bench.Table, error) { return bench.AblationBcastStore() }},
-		{"trees", "ablation: binomial vs pipeline broadcast", func(int) (*bench.Table, error) { return bench.AblationTrees() }},
-	}
-}
-
 func main() {
-	exp := flag.String("exp", "all", "experiment id (see -list)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
 	scale := flag.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiments and exit")
-	wall := flag.Bool("wall", false, "report wall-clock time per experiment on stderr")
+	wall := flag.Bool("wall", false, "report wall-clock time and heap allocations per experiment on stderr")
+	parallel := flag.Int("parallel", 1, "sweep workers per experiment (1 = serial, 0 = GOMAXPROCS)")
 	flag.Parse()
 
-	exps := experiments()
+	exps := bench.Experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-12s %s\n", e.id, e.desc)
+			fmt.Printf("%-12s %s\n", e.ID, e.Desc)
 		}
 		return
 	}
-	ran := 0
-	for _, e := range exps {
-		if *exp != "all" && !strings.EqualFold(*exp, e.id) {
-			continue
-		}
+	sel, unknown := selectExperiments(exps, *exp)
+	if len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "spinbench: unknown experiment ids: %s (use -list)\n",
+			strings.Join(unknown, ", "))
+		os.Exit(1)
+	}
+	if len(sel) == 0 {
+		fmt.Fprintf(os.Stderr, "spinbench: no experiment ids in %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+	for _, e := range sel {
 		t0 := time.Now()
-		tab, err := e.run(*scale)
+		var m0 runtime.MemStats
+		if *wall {
+			runtime.ReadMemStats(&m0)
+		}
+		tab, err := e.Build(*scale).Run(*parallel)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		if *wall {
-			fmt.Fprintf(os.Stderr, "spinbench: %s: %v wall\n", e.id, time.Since(t0).Round(time.Millisecond))
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			fmt.Fprintf(os.Stderr, "spinbench: %s: %v wall, %d allocs\n",
+				e.ID, time.Since(t0).Round(time.Millisecond), m1.Mallocs-m0.Mallocs)
 		}
 		if *csv {
 			tab.CSV(os.Stdout)
 		} else {
 			tab.Fprint(os.Stdout)
 		}
-		ran++
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "spinbench: unknown experiment %q (use -list)\n", *exp)
-		os.Exit(1)
+}
+
+// selectExperiments resolves a comma-separated id list ("all" or "" selects
+// everything). Ids match case-insensitively; duplicates run once. Unknown
+// ids are returned so the caller can report all of them before running
+// anything.
+func selectExperiments(exps []bench.Experiment, spec string) (sel []bench.Experiment, unknown []string) {
+	if spec == "" || strings.EqualFold(spec, "all") {
+		return exps, nil
 	}
+	seen := make(map[string]bool)
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		found := false
+		for _, e := range exps {
+			if strings.EqualFold(id, e.ID) {
+				if !seen[e.ID] {
+					seen[e.ID] = true
+					sel = append(sel, e)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			unknown = append(unknown, id)
+		}
+	}
+	return sel, unknown
 }

@@ -37,7 +37,27 @@
 //     via Engine.ReserveSeq at Send time, so the event order — and every
 //     simulated-time output — is bit-identical to eager per-packet
 //     scheduling (verified against the PR-0 engine in BENCH_core.json).
+//   - Setup reuse. With the per-event path allocation-free, sweeps became
+//     setup-dominated (a fresh 325-node cluster per measurement point).
+//     netsim.Cluster.Reset returns a cluster to its post-construction
+//     state — engine clock/queue/sequence, every resource's busy-until
+//     timeline, the Portals NIs and sPIN runtimes (via the netsim.Resetter
+//     cascade), free lists kept, timeline recorder cleared — so one cluster
+//     per configuration serves a whole sweep (bench.Env caches them; the
+//     full Fig 3b sweep dropped from 647k to 12.5k allocations, 52x).
+//     Reset is simulation-equivalent to reconstruction because every input
+//     to the event order (clock, (time, seq) tie-breaks, busy-until
+//     trajectories) restarts exactly as construction leaves it; pooled-
+//     object and map-bucket reuse changes only allocation behaviour.
+//   - Parallel sweeps. The engine stays single-threaded by design, so
+//     bench.Sweep parallelizes across measurement points instead: point i
+//     runs on worker i mod W (each worker owns its Env, engines, and
+//     clusters), and rows merge back in point order, making the output
+//     byte-identical for every worker count — pinned by the
+//     serial-vs-parallel golden test that `make check` runs, and exposed as
+//     `spinbench -parallel`.
 //
 // BENCH_core.json records the measured trajectory; scripts/check.sh (or
-// `make check`) runs tier-1 plus a perf smoke in one command.
+// `make check`) runs tier-1 plus the determinism and perf smokes in one
+// command.
 package repro

@@ -21,15 +21,17 @@ import (
 //   - sPIN: each packet's handler DMAs the destination slice up, multiplies,
 //     and writes it back; packets pipeline across HPUs and the bus.
 func AccumulateTime(p netsim.Params, spin bool, size int) (sim.Time, error) {
+	return accumulateTime(nil, p, spin, size)
+}
+
+func accumulateTime(e *Env, p netsim.Params, spin bool, size int) (sim.Time, error) {
 	// Saturating sweeps would otherwise trip flow control; these
 	// experiments measure completion time, not drop behaviour.
 	p.FlowDeadline = 100 * sim.Millisecond
-	c, err := netsim.NewCluster(farPeer+1, p)
+	c, nis, err := e.cluster(farPeer+1, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 	if _, err := nis[farPeer].PTAlloc(0, nil); err != nil {
 		return 0, err
 	}
@@ -76,13 +78,15 @@ func AccumulateTime(p netsim.Params, spin bool, size int) (sim.Time, error) {
 
 // Fig3d regenerates Figure 3d: remote accumulate completion time for both
 // NIC types.
-func Fig3d(scale int) (*Table, error) {
-	t := &Table{
+func Fig3d(scale int) (*Table, error) { return fig3dSweep(scale).Run(1) }
+
+func fig3dSweep(scale int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "fig3d",
 		Title:  "Remote accumulate completion time (us)",
 		Header: []string{"bytes", "RDMA/P4(int)", "sPIN(int)", "RDMA/P4(dis)", "sPIN(dis)"},
 		Notes:  "paper: sPIN slower for small (DMA round trip), faster for large (pipelining)",
-	}
+	})
 	if scale < 1 {
 		scale = 1
 	}
@@ -94,18 +98,20 @@ func Fig3d(scale int) (*Table, error) {
 		if i%scale != 0 && size != sizes[len(sizes)-1] {
 			continue
 		}
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
-			for _, spin := range []bool{false, true} {
-				d, err := AccumulateTime(p, spin, size)
-				if err != nil {
-					return nil, err
+		s.Row(func(e *Env) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
+				for _, spin := range []bool{false, true} {
+					d, err := accumulateTime(e, p, spin, size)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, us(int64(d)))
 				}
-				row = append(row, us(int64(d)))
 			}
-		}
-		// Reorder: int-RDMA, int-sPIN, dis-RDMA, dis-sPIN already matches.
-		t.Add(row...)
+			// Reorder: int-RDMA, int-sPIN, dis-RDMA, dis-sPIN already matches.
+			return row, nil
+		})
 	}
-	return t, nil
+	return s
 }

@@ -79,7 +79,12 @@ func RunApp(a apps.App, iterations int) (AppResult, error) {
 
 // Table5c regenerates Table 5c: full-application improvement from fully
 // offloaded matching protocols.
-func Table5c(scale int) (*Table, error) {
+func Table5c(scale int) (*Table, error) { return table5cSweep(scale).Run(1) }
+
+// table5cSweep lays out one point per application. The mpisim replays build
+// their own engines (the rank-program state machine is not cluster-shaped),
+// so the points do not draw on the Env — they parallelize but do not reuse.
+func table5cSweep(scale int) *Sweep {
 	if scale < 1 {
 		scale = 1
 	}
@@ -87,23 +92,25 @@ func Table5c(scale int) (*Table, error) {
 	if iters < 10 {
 		iters = 10
 	}
-	t := &Table{
+	s := NewSweep(&Table{
 		ID:     "table5c",
 		Title:  fmt.Sprintf("Application overview: offloaded matching (%d halo iterations)", iters),
 		Header: []string{"program", "p", "msgs", "ovhd", "spdup", "paper_ovhd", "paper_spdup"},
 		Notes:  "paper traces are full-length (MILC 5.7M, POP 772M, coMD 5.3M/28.1M, Cloverleaf 2.7M/15.3M msgs)",
-	}
+	})
 	for _, a := range apps.Suite() {
-		r, err := RunApp(a, iters)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(r.App.Name, fmt.Sprintf("%d", r.App.Ranks),
-			fmt.Sprintf("%d", r.Messages),
-			fmt.Sprintf("%.1f%%", 100*r.Overhead),
-			fmt.Sprintf("%.1f%%", 100*r.Speedup),
-			fmt.Sprintf("%.1f%%", 100*r.App.TargetP2PFraction),
-			fmt.Sprintf("%.1f%%", 100*r.App.PaperSpeedup))
+		s.Row(func(*Env) ([]string, error) {
+			r, err := RunApp(a, iters)
+			if err != nil {
+				return nil, err
+			}
+			return []string{r.App.Name, fmt.Sprintf("%d", r.App.Ranks),
+				fmt.Sprintf("%d", r.Messages),
+				fmt.Sprintf("%.1f%%", 100*r.Overhead),
+				fmt.Sprintf("%.1f%%", 100*r.Speedup),
+				fmt.Sprintf("%.1f%%", 100*r.App.TargetP2PFraction),
+				fmt.Sprintf("%.1f%%", 100*r.App.PaperSpeedup)}, nil
+		})
 	}
-	return t, nil
+	return s
 }

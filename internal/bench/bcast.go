@@ -25,15 +25,17 @@ func binomialChildren(rank, nprocs int) []int {
 // BroadcastTime measures a binomial-tree broadcast of size bytes to nprocs
 // ranks (§4.4.3, Fig. 5a): the time until the last rank holds the data.
 func BroadcastTime(p netsim.Params, v Variant, nprocs, size int) (sim.Time, error) {
+	return broadcastTime(nil, p, v, nprocs, size)
+}
+
+func broadcastTime(e *Env, p netsim.Params, v Variant, nprocs, size int) (sim.Time, error) {
 	// Deep trees queue many forwarded packets per HPU; give the portal a
 	// generous flow budget so the measurement reflects latency, not drops.
 	p.FlowDeadline = 10 * sim.Millisecond
-	c, err := netsim.NewCluster(nprocs, p)
+	c, nis, err := e.cluster(nprocs, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 	var last sim.Time
 	remaining := nprocs - 1
 	var completionErr error
@@ -155,67 +157,75 @@ func Fig5aProcs() []int { return []int{4, 16, 64, 256, 1024} }
 
 // Fig5a regenerates Figure 5a: broadcast latency on the discrete NIC for
 // 8 B and 64 KiB messages.
-func Fig5a(scale int) (*Table, error) {
-	t := &Table{
+func Fig5a(scale int) (*Table, error) { return fig5aSweep(scale).Run(1) }
+
+func fig5aSweep(scale int) *Sweep {
+	s := NewSweep(&Table{
 		ID:    "fig5a",
 		Title: "Binomial-tree broadcast latency, discrete NIC (us)",
 		Header: []string{"procs",
 			"RDMA(8B)", "P4(8B)", "sPIN(8B)",
 			"RDMA(64KiB)", "P4(64KiB)", "sPIN(64KiB)"},
 		Notes: "paper: sPIN fastest at both sizes; gap grows with message size (streaming pipeline)",
-	}
+	})
 	procs := Fig5aProcs()
 	if scale > 1 && len(procs) > 3 {
 		procs = []int{4, 64, 1024}
 	}
 	p := netsim.Discrete()
 	for _, n := range procs {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, size := range []int{8, 64 << 10} {
-			for _, v := range []Variant{RDMA, P4, SpinStream} {
-				d, err := BroadcastTime(p, v, n, size)
-				if err != nil {
-					return nil, err
+		s.Row(func(e *Env) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, size := range []int{8, 64 << 10} {
+				for _, v := range []Variant{RDMA, P4, SpinStream} {
+					d, err := broadcastTime(e, p, v, n, size)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, us(int64(d)))
 				}
-				row = append(row, us(int64(d)))
 			}
-		}
-		// Reorder columns: sizes grouped as in the header.
-		t.Add(row[0], row[1], row[2], row[3], row[4], row[5], row[6])
+			// Columns already land in header order: sizes grouped outermost.
+			return row, nil
+		})
 	}
-	return t, nil
+	return s
 }
 
 // AblationBcastStore regenerates the §4.4.3 store-vs-stream comparison:
 // the paper reports store-and-forward within 5% of streaming for
 // single-packet messages and of Portals 4 for multi-packet messages.
-func AblationBcastStore() (*Table, error) {
-	t := &Table{
+func AblationBcastStore() (*Table, error) { return bcastStoreSweep(1).Run(1) }
+
+func bcastStoreSweep(int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "bcast-store",
 		Title:  "Broadcast store-and-forward vs streaming (64 ranks, discrete, us)",
 		Header: []string{"bytes", "P4", "sPIN(store)", "sPIN(stream)", "store_vs_ref"},
-	}
+	})
 	p := netsim.Discrete()
 	for _, size := range []int{8, 512, 4096, 65536} {
-		p4, err := BroadcastTime(p, P4, 64, size)
-		if err != nil {
-			return nil, err
-		}
-		store, err := BroadcastTime(p, SpinStore, 64, size)
-		if err != nil {
-			return nil, err
-		}
-		stream, err := BroadcastTime(p, SpinStream, 64, size)
-		if err != nil {
-			return nil, err
-		}
-		// Reference: streaming for single-packet, P4 for multi-packet.
-		ref := stream
-		if size > p.MTU {
-			ref = p4
-		}
-		t.Add(fmt.Sprintf("%d", size), us(int64(p4)), us(int64(store)), us(int64(stream)),
-			fmt.Sprintf("%+.1f%%", 100*(float64(store)/float64(ref)-1)))
+		s.Row(func(e *Env) ([]string, error) {
+			p4, err := broadcastTime(e, p, P4, 64, size)
+			if err != nil {
+				return nil, err
+			}
+			store, err := broadcastTime(e, p, SpinStore, 64, size)
+			if err != nil {
+				return nil, err
+			}
+			stream, err := broadcastTime(e, p, SpinStream, 64, size)
+			if err != nil {
+				return nil, err
+			}
+			// Reference: streaming for single-packet, P4 for multi-packet.
+			ref := stream
+			if size > p.MTU {
+				ref = p4
+			}
+			return []string{fmt.Sprintf("%d", size), us(int64(p4)), us(int64(store)), us(int64(stream)),
+				fmt.Sprintf("%+.1f%%", 100*(float64(store)/float64(ref)-1))}, nil
+		})
 	}
-	return t, nil
+	return s
 }

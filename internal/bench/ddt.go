@@ -24,15 +24,17 @@ const DDTTotalBytes = 4 << 20
 //     DMA each block directly to its final location; small blocks are
 //     dominated by the per-transaction DMA overhead.
 func StridedReceiveTime(p netsim.Params, spin bool, blocksize int) (sim.Time, error) {
+	return stridedReceiveTime(nil, p, spin, blocksize)
+}
+
+func stridedReceiveTime(e *Env, p netsim.Params, spin bool, blocksize int) (sim.Time, error) {
 	// Saturating sweeps would otherwise trip flow control; these
 	// experiments measure completion time, not drop behaviour.
 	p.FlowDeadline = 100 * sim.Millisecond
-	c, err := netsim.NewCluster(farPeer+1, p)
+	c, nis, err := e.cluster(farPeer+1, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 	if _, err := nis[farPeer].PTAlloc(0, nil); err != nil {
 		return 0, err
 	}
@@ -91,13 +93,15 @@ func Fig7aBlocksizes() []int {
 // achieved bandwidth vs blocksize. Both NIC types produce near-identical
 // curves (the paper plots them together); we emit the integrated one plus
 // a discrete spot check in the notes.
-func Fig7a(scale int) (*Table, error) {
-	t := &Table{
+func Fig7a(scale int) (*Table, error) { return fig7aSweep(scale).Run(1) }
+
+func fig7aSweep(scale int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "fig7a",
 		Title:  "Strided receive of 4 MiB, stride = 2x blocksize",
 		Header: []string{"blocksize", "RDMA_us", "RDMA_GiB/s", "sPIN_us", "sPIN_GiB/s"},
 		Notes:  "paper: RDMA flat ~8.7-11.4 GiB/s; sPIN crosses over near 256 B and reaches ~46 GiB/s",
-	}
+	})
 	if scale < 1 {
 		scale = 1
 	}
@@ -107,17 +111,19 @@ func Fig7a(scale int) (*Table, error) {
 		if i%scale != 0 && b != sizes[len(sizes)-1] {
 			continue
 		}
-		rdma, err := StridedReceiveTime(p, false, b)
-		if err != nil {
-			return nil, err
-		}
-		spin, err := StridedReceiveTime(p, true, b)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(fmt.Sprintf("%d", b),
-			us(int64(rdma)), gibps(DDTTotalBytes, int64(rdma)),
-			us(int64(spin)), gibps(DDTTotalBytes, int64(spin)))
+		s.Row(func(e *Env) ([]string, error) {
+			rdma, err := stridedReceiveTime(e, p, false, b)
+			if err != nil {
+				return nil, err
+			}
+			spin, err := stridedReceiveTime(e, p, true, b)
+			if err != nil {
+				return nil, err
+			}
+			return []string{fmt.Sprintf("%d", b),
+				us(int64(rdma)), gibps(DDTTotalBytes, int64(rdma)),
+				us(int64(spin)), gibps(DDTTotalBytes, int64(spin))}, nil
+		})
 	}
-	return t, nil
+	return s
 }

@@ -41,24 +41,31 @@ func MaxHandlerTimeLine(p netsim.Params, k int, s int) sim.Time {
 // Fig4 regenerates Figure 4: HPUs needed to guarantee line rate as a
 // function of packet size, for the paper's four handler times.
 func Fig4() *Table {
+	t, _ := fig4Sweep(1).Run(1) // analytic points cannot error
+	return t
+}
+
+func fig4Sweep(int) *Sweep {
 	p := netsim.Integrated()
-	t := &Table{
+	s := NewSweep(&Table{
 		ID:     "fig4",
 		Title:  "HPUs needed for line rate vs packet size",
 		Header: []string{"pkt_bytes", "T=100ns", "T=200ns", "T=500ns", "T=1000ns"},
-	}
+		Notes: fmt.Sprintf(
+			"g-bound/G-bound crossover at %d B (paper: 335); T̂s(8 HPUs)=%.1fns (paper: 53); T̂l(8,4096)=%.0fns (paper: 650)",
+			GBoundCrossover(p),
+			MaxHandlerTimeSmall(p, 8).Nanoseconds(),
+			MaxHandlerTimeLine(p, 8, 4096).Nanoseconds()),
+	})
 	times := []sim.Time{100 * sim.Nanosecond, 200 * sim.Nanosecond, 500 * sim.Nanosecond, 1000 * sim.Nanosecond}
-	for s := 64; s <= 4096; s += 64 {
-		row := []string{fmt.Sprintf("%d", s)}
-		for _, T := range times {
-			row = append(row, fmt.Sprintf("%d", HPUsNeeded(p, T, s)))
-		}
-		t.Add(row...)
+	for sz := 64; sz <= 4096; sz += 64 {
+		s.Row(func(*Env) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", sz)}
+			for _, T := range times {
+				row = append(row, fmt.Sprintf("%d", HPUsNeeded(p, T, sz)))
+			}
+			return row, nil
+		})
 	}
-	t.Notes = fmt.Sprintf(
-		"g-bound/G-bound crossover at %d B (paper: 335); T̂s(8 HPUs)=%.1fns (paper: 53); T̂l(8,4096)=%.0fns (paper: 650)",
-		GBoundCrossover(p),
-		MaxHandlerTimeSmall(p, 8).Nanoseconds(),
-		MaxHandlerTimeLine(p, 8, 4096).Nanoseconds())
-	return t
+	return s
 }

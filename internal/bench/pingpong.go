@@ -56,15 +56,19 @@ const farPeer = 324
 // PingPongHalfRTT runs one ping-pong of the given size between two
 // neighbor ranks and returns the half round-trip time (§4.4.1).
 func PingPongHalfRTT(p netsim.Params, v Variant, size int, nz *noise.Model) (sim.Time, error) {
+	return pingPongHalfRTT(nil, p, v, size, nz)
+}
+
+// pingPongHalfRTT is PingPongHalfRTT on a sweep environment: a non-nil env
+// supplies the (reset) cluster, so sweeps skip per-point construction.
+func pingPongHalfRTT(e *Env, p netsim.Params, v Variant, size int, nz *noise.Model) (sim.Time, error) {
 	// Saturating sweeps would otherwise trip flow control; these
 	// experiments measure completion time, not drop behaviour.
 	p.FlowDeadline = 100 * sim.Millisecond
-	c, err := netsim.NewCluster(farPeer+1, p)
+	c, nis, err := e.cluster(farPeer+1, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 
 	// Responder.
 	if _, err := nis[farPeer].PTAlloc(0, nil); err != nil {
@@ -161,18 +165,21 @@ func Fig3Sizes() []int {
 
 // Fig3b regenerates Figure 3b (ping-pong, integrated NIC). The scale
 // parameter subsamples the sweep for quick runs (1 = full).
-func Fig3b(scale int) (*Table, error) { return fig3(netsim.Integrated(), "fig3b", "integrated", scale) }
+func Fig3b(scale int) (*Table, error) { return fig3bSweep(scale).Run(1) }
 
 // Fig3c regenerates Figure 3c (ping-pong, discrete NIC).
-func Fig3c(scale int) (*Table, error) { return fig3(netsim.Discrete(), "fig3c", "discrete", scale) }
+func Fig3c(scale int) (*Table, error) { return fig3cSweep(scale).Run(1) }
 
-func fig3(p netsim.Params, id, kind string, scale int) (*Table, error) {
-	t := &Table{
+func fig3bSweep(scale int) *Sweep { return fig3(netsim.Integrated(), "fig3b", "integrated", scale) }
+func fig3cSweep(scale int) *Sweep { return fig3(netsim.Discrete(), "fig3c", "discrete", scale) }
+
+func fig3(p netsim.Params, id, kind string, scale int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     id,
 		Title:  "Ping-pong half round-trip time, " + kind + " NIC (us)",
 		Header: []string{"bytes", "RDMA", "P4", "sPIN(store)", "sPIN(stream)"},
 		Notes:  "paper: sPIN < P4 < RDMA for small messages; stream wins for large",
-	}
+	})
 	if scale < 1 {
 		scale = 1
 	}
@@ -181,52 +188,58 @@ func fig3(p netsim.Params, id, kind string, scale int) (*Table, error) {
 		if i%scale != 0 && size != sizes[len(sizes)-1] {
 			continue
 		}
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, v := range []Variant{RDMA, P4, SpinStore, SpinStream} {
-			half, err := PingPongHalfRTT(p, v, size, noise.None())
-			if err != nil {
-				return nil, err
+		s.Row(func(e *Env) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, v := range []Variant{RDMA, P4, SpinStore, SpinStream} {
+				half, err := pingPongHalfRTT(e, p, v, size, noise.None())
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, us(int64(half)))
 			}
-			row = append(row, us(int64(half)))
-		}
-		t.Add(row...)
+			return row, nil
+		})
 	}
-	return t, nil
+	return s
 }
 
 // AblationNoise regenerates the noise-sensitivity ablation (§5.1's
 // motivation, DESIGN.md A2): ping-pong under 1 kHz / 25 us OS noise. Only
 // the CPU-driven variant degrades.
-func AblationNoise() (*Table, error) {
-	t := &Table{
+func AblationNoise() (*Table, error) { return noiseSweep(1).Run(1) }
+
+func noiseSweep(int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "noise",
 		Title:  "8 KiB ping-pong half RTT with and without OS noise (us)",
 		Header: []string{"variant", "quiet", "noisy", "slowdown"},
 		Notes:  "offloaded variants are noise-immune (§4.4.1, §5.1)",
-	}
+	})
 	for _, v := range []Variant{RDMA, P4, SpinStream} {
-		quiet, err := PingPongHalfRTT(netsim.Discrete(), v, 8192, noise.None())
-		if err != nil {
-			return nil, err
-		}
-		// Worst-case alignment: every CPU step lands in a detour window.
-		noisy := quiet
-		for trial := 0; trial < 8; trial++ {
-			m := &noise.Model{
-				Period:   sim.Millisecond,
-				Duration: 25 * sim.Microsecond,
-				Phase:    sim.Time(trial) * 125 * sim.Microsecond,
-			}
-			got, err := PingPongHalfRTT(netsim.Discrete(), v, 8192, m)
+		s.Row(func(e *Env) ([]string, error) {
+			quiet, err := pingPongHalfRTT(e, netsim.Discrete(), v, 8192, noise.None())
 			if err != nil {
 				return nil, err
 			}
-			if got > noisy {
-				noisy = got
+			// Worst-case alignment: every CPU step lands in a detour window.
+			noisy := quiet
+			for trial := 0; trial < 8; trial++ {
+				m := &noise.Model{
+					Period:   sim.Millisecond,
+					Duration: 25 * sim.Microsecond,
+					Phase:    sim.Time(trial) * 125 * sim.Microsecond,
+				}
+				got, err := pingPongHalfRTT(e, netsim.Discrete(), v, 8192, m)
+				if err != nil {
+					return nil, err
+				}
+				if got > noisy {
+					noisy = got
+				}
 			}
-		}
-		t.Add(v.String(), us(int64(quiet)), us(int64(noisy)),
-			fmt.Sprintf("%.2fx", float64(noisy)/float64(quiet)))
+			return []string{v.String(), us(int64(quiet)), us(int64(noisy)),
+				fmt.Sprintf("%.2fx", float64(noisy)/float64(quiet))}, nil
+		})
 	}
-	return t, nil
+	return s
 }

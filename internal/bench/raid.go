@@ -47,15 +47,17 @@ func raidChunks(size int) []int {
 // the four data servers, until the client has collected every ack — after
 // the parity node is updated (Fig. 7c).
 func RaidUpdateTime(p netsim.Params, spin bool, size int) (sim.Time, error) {
+	return raidUpdateTime(nil, p, spin, size)
+}
+
+func raidUpdateTime(e *Env, p netsim.Params, spin bool, size int) (sim.Time, error) {
 	// Saturating sweeps would otherwise trip flow control; these
 	// experiments measure completion time, not drop behaviour.
 	p.FlowDeadline = 100 * sim.Millisecond
-	c, err := netsim.NewCluster(raidDataBase+raidDataNodes, p)
+	c, nis, err := e.cluster(raidDataBase+raidDataNodes, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 	chunks := raidChunks(size)
 	chunkCap := chunks[0]
 
@@ -208,13 +210,15 @@ func RaidUpdateTime(p netsim.Params, spin bool, size int) (sim.Time, error) {
 
 // Fig7c regenerates Figure 7c: RAID-5 update time vs transfer size for
 // both NIC types.
-func Fig7c(scale int) (*Table, error) {
-	t := &Table{
+func Fig7c(scale int) (*Table, error) { return fig7cSweep(scale).Run(1) }
+
+func fig7cSweep(scale int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "fig7c",
 		Title:  "Distributed RAID-5 update time (us)",
 		Header: []string{"bytes", "RDMA/P4(int)", "sPIN(int)", "RDMA/P4(dis)", "sPIN(dis)"},
 		Notes:  "paper: comparable for small transfers, sPIN much faster for large blocks",
-	}
+	})
 	if scale < 1 {
 		scale = 1
 	}
@@ -223,17 +227,19 @@ func Fig7c(scale int) (*Table, error) {
 		if i%scale != 0 && size != sizes[len(sizes)-1] {
 			continue
 		}
-		row := []string{fmt.Sprintf("%d", size)}
-		for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
-			for _, spinMode := range []bool{false, true} {
-				d, err := RaidUpdateTime(p, spinMode, size)
-				if err != nil {
-					return nil, err
+		s.Row(func(e *Env) ([]string, error) {
+			row := []string{fmt.Sprintf("%d", size)}
+			for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
+				for _, spinMode := range []bool{false, true} {
+					d, err := raidUpdateTime(e, p, spinMode, size)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, us(int64(d)))
 				}
-				row = append(row, us(int64(d)))
 			}
-		}
-		t.Add(row...)
+			return row, nil
+		})
 	}
-	return t, nil
+	return s
 }

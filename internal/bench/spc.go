@@ -28,35 +28,43 @@ func ReplayTrace(p netsim.Params, spin bool, recs []spctrace.Record) (sim.Time, 
 // of sPIN over RDMA for the five SPC traces, on both NIC types. The paper
 // reports improvements between 2.8% and 43.7%, with the largest on the
 // financial (OLTP) traces with the integrated NIC.
-func SPCTraces() (*Table, error) {
-	t := &Table{
+func SPCTraces() (*Table, error) { return spcSweep(1).Run(1) }
+
+// spcSweep lays out one point per trace. The trace records are generated
+// once at build time and shared read-only by the replay points; the RAID
+// systems themselves are built per replay (raidsim owns its protocol state),
+// so like table5c these points parallelize but do not reuse.
+func spcSweep(int) *Sweep {
+	s := NewSweep(&Table{
 		ID:    "spc",
 		Title: fmt.Sprintf("SPC trace replay on RAID-5 (%d requests per trace, ms)", SPCOpsPerTrace),
 		Header: []string{"trace", "writes",
 			"RDMA(int)", "sPIN(int)", "improv(int)",
 			"RDMA(dis)", "sPIN(dis)", "improv(dis)"},
 		Notes: "paper: improvements 2.8%..43.7%, largest for financial traces on the integrated NIC",
-	}
+	})
 	traces := spctrace.Suite(SPCOpsPerTrace)
 	for _, name := range spctrace.SuiteNames() {
 		recs := traces[name]
-		stats := spctrace.Summarize(recs)
-		row := []string{name, fmt.Sprintf("%.0f%%", 100*stats.WriteFraction)}
-		for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
-			base, err := ReplayTrace(p, false, recs)
-			if err != nil {
-				return nil, err
+		s.Row(func(*Env) ([]string, error) {
+			stats := spctrace.Summarize(recs)
+			row := []string{name, fmt.Sprintf("%.0f%%", 100*stats.WriteFraction)}
+			for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
+				base, err := ReplayTrace(p, false, recs)
+				if err != nil {
+					return nil, err
+				}
+				spin, err := ReplayTrace(p, true, recs)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row,
+					fmt.Sprintf("%.3f", base.Seconds()*1e3),
+					fmt.Sprintf("%.3f", spin.Seconds()*1e3),
+					fmt.Sprintf("%.1f%%", 100*(1-float64(spin)/float64(base))))
 			}
-			spin, err := ReplayTrace(p, true, recs)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row,
-				fmt.Sprintf("%.3f", base.Seconds()*1e3),
-				fmt.Sprintf("%.3f", spin.Seconds()*1e3),
-				fmt.Sprintf("%.1f%%", 100*(1-float64(spin)/float64(base))))
-		}
-		t.Add(row...)
+			return row, nil
+		})
 	}
-	return t, nil
+	return s
 }

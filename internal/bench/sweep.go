@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/fattree"
+	"repro/internal/netsim"
+	"repro/internal/portals"
+)
+
+// Env is one sweep worker's reusable simulation environment. Building a
+// cluster (nodes, resources, Portals NIs, HPU pools) costs far more
+// allocations than simulating a measurement point on it, so Env caches one
+// cluster per distinct (size, parameters) configuration and returns it
+// Reset — back in its post-construction state — for every subsequent point
+// that asks for the same configuration. Clusters produce bit-identical
+// simulated times whether fresh or reset (see netsim.Cluster.Reset), which
+// is what keeps sweep output byte-identical to the build-per-point path.
+//
+// An Env must only ever be used from one goroutine: the engine is
+// single-threaded by design (determinism), and the sweep runner gives each
+// worker its own Env. A nil *Env is valid and disables reuse — every
+// cluster request builds from scratch, which is the behaviour of the
+// exported single-point helpers (PingPongHalfRTT, BroadcastTime, ...) and
+// of the determinism tests' fresh baseline.
+type Env struct {
+	clusters map[envKey]*envCluster
+}
+
+// envKey identifies a cluster configuration by value. netsim.Params is
+// comparable except for the topology pointer, which is dereferenced so two
+// Params that describe the same fat tree share a cached cluster even when
+// built by separate netsim.Integrated()/Discrete() calls.
+type envKey struct {
+	n    int
+	p    netsim.Params // Topo cleared; represented by topo below
+	topo fattree.Topology
+}
+
+type envCluster struct {
+	c   *netsim.Cluster
+	nis []*portals.NI
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{clusters: make(map[envKey]*envCluster)} }
+
+// cluster returns a cluster of n nodes with parameters p, plus its Portals
+// interfaces. On a nil Env (or the first request for a configuration) it
+// builds one; afterwards the cached cluster is returned reset.
+func (e *Env) cluster(n int, p netsim.Params) (*netsim.Cluster, []*portals.NI, error) {
+	if e == nil {
+		c, err := netsim.NewCluster(n, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		attachTrace(c)
+		return c, portals.Setup(c), nil
+	}
+	k := envKey{n: n, p: p, topo: *p.Topo}
+	k.p.Topo = nil
+	if ec, ok := e.clusters[k]; ok {
+		ec.c.Reset()
+		return ec.c, ec.nis, nil
+	}
+	c, err := netsim.NewCluster(n, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	ec := &envCluster{c: c, nis: portals.Setup(c)}
+	e.clusters[k] = ec
+	return ec.c, ec.nis, nil
+}
+
+// Sweep is a deterministic parallel sweep runner: an experiment registers
+// its measurement points in output order, and Run executes them either
+// serially on one Env or sharded across worker goroutines — one Env (and
+// therefore one engine per cluster configuration) per worker, so each
+// engine stays single-threaded. Point i always runs on worker i mod
+// workers, and rows are merged back in point order, so the resulting table
+// is byte-identical no matter how many workers run it. Each point is an
+// independent simulation (its cluster is reset to the post-construction
+// state first), which is what makes the sharding sound.
+type Sweep struct {
+	table  *Table
+	points []func(e *Env) ([][]string, error)
+}
+
+// NewSweep returns a sweep that will fill t's rows.
+func NewSweep(t *Table) *Sweep { return &Sweep{table: t} }
+
+// Point appends one measurement point producing zero or more table rows.
+func (s *Sweep) Point(fn func(e *Env) ([][]string, error)) {
+	s.points = append(s.points, fn)
+}
+
+// Row is Point for the common case of exactly one row per point.
+func (s *Sweep) Row(fn func(e *Env) ([]string, error)) {
+	s.Point(func(e *Env) ([][]string, error) {
+		row, err := fn(e)
+		if err != nil {
+			return nil, err
+		}
+		return [][]string{row}, nil
+	})
+}
+
+// Run executes every point and returns the completed table. workers <= 1
+// runs serially; workers > 1 shards points round-robin across that many
+// goroutines; workers <= 0 uses GOMAXPROCS. On error, each worker abandons
+// the rest of its own stride (other workers run to completion — they don't
+// watch each other) and the earliest-indexed error is returned; since every
+// worker visits its points in increasing index order, stopping at its first
+// error never hides an earlier one. Successful output is byte-identical
+// across all worker counts.
+func (s *Sweep) Run(workers int) (*Table, error) {
+	return s.run(workers, false)
+}
+
+// RunFresh executes serially with cluster reuse disabled: every point
+// builds its system from scratch, exactly as the exported single-point
+// helpers do. It exists so tests can pin Run's reuse path against the
+// from-scratch baseline.
+func (s *Sweep) RunFresh() (*Table, error) {
+	return s.run(1, true)
+}
+
+func (s *Sweep) run(workers int, fresh bool) (*Table, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.points) {
+		workers = len(s.points)
+	}
+	rows := make([][][]string, len(s.points))
+	errs := make([]error, len(s.points))
+	if workers <= 1 {
+		var e *Env
+		if !fresh {
+			e = NewEnv()
+		}
+		for i, fn := range s.points {
+			rows[i], errs[i] = fn(e)
+			if errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e := NewEnv()
+				for i := w; i < len(s.points); i += workers {
+					rows[i], errs[i] = s.points[i](e)
+					if errs[i] != nil {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range rows {
+		s.table.Rows = append(s.table.Rows, rs...)
+	}
+	return s.table, nil
+}
+
+// Experiment is one regenerable table or figure: an id and description for
+// CLI listings, and a builder that lays out the sweep at a given subsample
+// scale (1 = full resolution). cmd/spinbench runs these; the per-figure
+// functions (Fig3b, Table5c, ...) are serial conveniences over the same
+// builders.
+type Experiment struct {
+	ID    string
+	Desc  string
+	Build func(scale int) *Sweep
+}
+
+// Experiments returns every experiment of the paper's evaluation, in the
+// order spinbench prints them.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig3b", "ping-pong, integrated NIC", fig3bSweep},
+		{"fig3c", "ping-pong, discrete NIC", fig3cSweep},
+		{"fig3d", "remote accumulate, both NICs", fig3dSweep},
+		{"fig4", "HPUs needed for line rate (model)", fig4Sweep},
+		{"fig5a", "binomial broadcast, discrete NIC", fig5aSweep},
+		{"table5c", "application speedups from offloaded matching", table5cSweep},
+		{"fig7a", "strided datatype receive", fig7aSweep},
+		{"fig7c", "distributed RAID-5 update", fig7cSweep},
+		{"spc", "SPC storage trace replay on RAID-5", spcSweep},
+		{"noise", "ablation: OS-noise sensitivity", noiseSweep},
+		{"bcast-store", "ablation: store-and-forward vs streaming", bcastStoreSweep},
+		{"trees", "ablation: binomial vs pipeline broadcast", treesSweep},
+	}
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/noise"
+)
+
+func tableCSV(t *Table) string {
+	var sb strings.Builder
+	t.CSV(&sb)
+	return sb.String()
+}
+
+func buildExperiment(t *testing.T, id string) Experiment {
+	t.Helper()
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e
+		}
+	}
+	t.Fatalf("experiment %q not registered", id)
+	return Experiment{}
+}
+
+// TestSweepResetAndParallelDeterminism is the golden equality check behind
+// the reuse and parallelism contracts: for each listed experiment the CSV
+// output must be byte-identical across (a) the from-scratch baseline (a
+// fresh cluster per measurement point, the pre-sweep behaviour), (b) the
+// serial runner reusing Reset clusters, and (c) the sharded parallel
+// runner. scripts/check.sh runs this test as the merge gate — a
+// nondeterministic merge or a stale field missed by a Reset shows up here
+// as a byte diff.
+func TestSweepResetAndParallelDeterminism(t *testing.T) {
+	const scale = 4
+	for _, id := range []string{"fig3b", "fig5a", "table5c"} {
+		exp := buildExperiment(t, id)
+		freshTab, err := exp.Build(scale).RunFresh()
+		if err != nil {
+			t.Fatalf("%s fresh: %v", id, err)
+		}
+		fresh := tableCSV(freshTab)
+
+		reuseTab, err := exp.Build(scale).Run(1)
+		if err != nil {
+			t.Fatalf("%s serial reuse: %v", id, err)
+		}
+		if reuse := tableCSV(reuseTab); reuse != fresh {
+			t.Fatalf("%s: Reset-reuse output differs from fresh-cluster output:\n--- fresh ---\n%s--- reuse ---\n%s", id, fresh, reuse)
+		}
+
+		parTab, err := exp.Build(scale).Run(4)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if par := tableCSV(parTab); par != fresh {
+			t.Fatalf("%s: parallel output differs from serial output:\n--- serial ---\n%s--- parallel ---\n%s", id, fresh, par)
+		}
+	}
+}
+
+// TestEnvReusesClusters pins the cache behaviour Env exists for: same
+// configuration, same cluster (reset); different node count or parameters,
+// different cluster; equal-valued topologies built by separate calls still
+// share.
+func TestEnvReusesClusters(t *testing.T) {
+	e := NewEnv()
+	c1, nis1, err := e.cluster(4, netsim.Integrated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Send(0, &netsim.Message{Type: netsim.OpPut, Src: 0, Dst: 1, Length: 64})
+	c1.Eng.Run()
+	if c1.Eng.Now() == 0 {
+		t.Fatal("workload did not advance the clock")
+	}
+	c2, nis2, err := e.cluster(4, netsim.Integrated()) // fresh Params value, same config
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 || &nis2[0] == nil || nis2[0] != nis1[0] {
+		t.Fatal("same configuration should return the cached cluster and NIs")
+	}
+	if c2.Eng.Now() != 0 || c2.MessagesSent != 0 {
+		t.Fatal("cached cluster was not reset")
+	}
+	if c3, _, _ := e.cluster(5, netsim.Integrated()); c3 == c1 {
+		t.Fatal("different node count must not share a cluster")
+	}
+	if c4, _, _ := e.cluster(4, netsim.Discrete()); c4 == c1 {
+		t.Fatal("different parameters must not share a cluster")
+	}
+	var nilEnv *Env
+	c5, _, err := nilEnv.cluster(4, netsim.Integrated())
+	if err != nil || c5 == c1 {
+		t.Fatalf("nil Env must build fresh (err=%v)", err)
+	}
+}
+
+// TestSweepErrorPropagates checks Run surfaces a failing point's error in
+// point order, serial and parallel.
+func TestSweepErrorPropagates(t *testing.T) {
+	build := func() *Sweep {
+		s := NewSweep(&Table{ID: "x", Header: []string{"v"}})
+		for i := 0; i < 6; i++ {
+			s.Row(func(e *Env) ([]string, error) {
+				// An impossible ping-pong: oversized HPU memory demand is
+				// not triggerable here, so use a plain failing point.
+				if i == 3 {
+					return nil, errPoint
+				}
+				return []string{"ok"}, nil
+			})
+		}
+		return s
+	}
+	if _, err := build().Run(1); err != errPoint {
+		t.Fatalf("serial: err = %v, want errPoint", err)
+	}
+	if _, err := build().Run(3); err != errPoint {
+		t.Fatalf("parallel: err = %v, want errPoint", err)
+	}
+}
+
+var errPoint = &pointError{}
+
+type pointError struct{}
+
+func (*pointError) Error() string { return "point failed" }
+
+// TestSingleHelperEquivalence pins that the exported single-point helpers
+// (nil Env) and the sweep path measure the same thing: one of each family.
+func TestSingleHelperEquivalence(t *testing.T) {
+	p := netsim.Integrated()
+	e := NewEnv()
+	a, err := PingPongHalfRTT(p, SpinStream, 4096, noise.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pingPongHalfRTT(e, p, SpinStream, 4096, noise.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pingPongHalfRTT(e, p, SpinStream, 4096, noise.None()) // reused cluster
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || b != c {
+		t.Fatalf("ping-pong diverged: fresh=%v env=%v env-reused=%v", a, b, c)
+	}
+}

@@ -14,13 +14,15 @@ import (
 // offload engines (§4.4.3). rootTargets are the ranks the root's host
 // seeds directly.
 func TreeBroadcastTime(p netsim.Params, tree handlers.Tree, nprocs, size int, rootTargets []int) (sim.Time, error) {
+	return treeBroadcastTime(nil, p, tree, nprocs, size, rootTargets)
+}
+
+func treeBroadcastTime(e *Env, p netsim.Params, tree handlers.Tree, nprocs, size int, rootTargets []int) (sim.Time, error) {
 	p.FlowDeadline = 100 * sim.Millisecond
-	c, err := netsim.NewCluster(nprocs, p)
+	c, nis, err := e.cluster(nprocs, p)
 	if err != nil {
 		return 0, err
 	}
-	attachTrace(c)
-	nis := portals.Setup(c)
 	var last sim.Time
 	remaining := nprocs - 1
 	for r := 0; r < nprocs; r++ {
@@ -82,29 +84,33 @@ func TreeBroadcastTime(p netsim.Params, tree handlers.Tree, nprocs, size int, ro
 // leaves as future work (§4.4.3): binomial (latency-optimal, log depth)
 // versus pipeline (bandwidth-optimal chain) broadcast on sPIN. Small
 // messages favor the binomial tree; large ones the pipeline.
-func AblationTrees() (*Table, error) {
-	t := &Table{
+func AblationTrees() (*Table, error) { return treesSweep(1).Run(1) }
+
+func treesSweep(int) *Sweep {
+	s := NewSweep(&Table{
 		ID:     "trees",
 		Title:  "sPIN broadcast algorithms, 16 ranks, integrated NIC (us)",
 		Header: []string{"bytes", "binomial", "pipeline", "winner"},
 		Notes:  "the flexible-tree generality of §4.4.3: binomial wins small, pipeline wins large",
-	}
+	})
 	p := netsim.Integrated()
 	const P = 16
 	for _, size := range []int{8, 4096, 65536, 1 << 20} {
-		bin, err := TreeBroadcastTime(p, handlers.BinomialTree, P, size, handlers.BinomialTree(0, P))
-		if err != nil {
-			return nil, err
-		}
-		pipe, err := TreeBroadcastTime(p, handlers.PipelineTree, P, size, []int{1})
-		if err != nil {
-			return nil, err
-		}
-		winner := "binomial"
-		if pipe < bin {
-			winner = "pipeline"
-		}
-		t.Add(fmt.Sprintf("%d", size), us(int64(bin)), us(int64(pipe)), winner)
+		s.Row(func(e *Env) ([]string, error) {
+			bin, err := treeBroadcastTime(e, p, handlers.BinomialTree, P, size, handlers.BinomialTree(0, P))
+			if err != nil {
+				return nil, err
+			}
+			pipe, err := treeBroadcastTime(e, p, handlers.PipelineTree, P, size, []int{1})
+			if err != nil {
+				return nil, err
+			}
+			winner := "binomial"
+			if pipe < bin {
+				winner = "pipeline"
+			}
+			return []string{fmt.Sprintf("%d", size), us(int64(bin)), us(int64(pipe)), winner}, nil
+		})
 	}
-	return t, nil
+	return s
 }

@@ -105,6 +105,24 @@ func NewRuntime(c *netsim.Cluster, node *netsim.Node) *Runtime {
 	}
 }
 
+// Reset returns the runtime to its post-construction state: idle HPU
+// contexts and issue units, an empty in-flight message table, zeroed
+// statistics, and all scratchpad memory released. The msgState free list
+// and the interned lane names are kept — they carry no simulation state
+// (every msgState is zeroed on allocation, and the pool sizes that the lane
+// names depend on never change after construction).
+func (rt *Runtime) Reset() {
+	rt.HPUs.Reset()
+	rt.issue.Reset()
+	rt.hpuMemUsed = 0
+	clear(rt.msgs)
+	rt.HandlerInvocations = 0
+	rt.HandlerCycles = 0
+	rt.PacketsDropped = 0
+	rt.FlowControlEvents = 0
+	rt.MessagesProcessed = 0
+}
+
 // hpuLane interns the timeline lane name of HPU context i. Lanes are built
 // on first use so runtimes that never record (the common benchmark case)
 // never format them.

@@ -18,8 +18,16 @@ import (
 )
 
 // Topology describes a three-level fat tree built from fixed-radix switches.
+//
+// The model assumes an even radix: a k-port switch dedicates k/2 ports to
+// hosts (or down-links) and k/2 to up-links. An odd radix is accepted but
+// truncates to the even capacity below it (k/2 rounds down), and a radix
+// below 2 cannot attach any host at all — Validate rejects it, because
+// HostsPerEdge would be zero and rank-to-edge assignment (Hops) would
+// divide by it.
 type Topology struct {
-	// Radix is the switch port count (36 in the paper).
+	// Radix is the switch port count (36 in the paper). Must be >= 2;
+	// even values match the fat-tree construction exactly.
 	Radix int
 	// SwitchDelay is the per-switch traversal time.
 	SwitchDelay sim.Time
@@ -49,8 +57,14 @@ func (t *Topology) HostsPerPod() int { return t.HostsPerEdge() * t.EdgesPerPod()
 // MaxHosts returns the number of hosts a three-level tree supports (k³/4).
 func (t *Topology) MaxHosts() int { return t.Radix * t.Radix * t.Radix / 4 }
 
-// Validate checks that ranks 0..n-1 fit in the topology.
+// Validate checks that the topology is constructible and that ranks 0..n-1
+// fit in it. A radix below 2 is rejected: such a "switch" has no port pair
+// to split between hosts and up-links, so HostsPerEdge() is zero and any
+// path computation would divide by it.
 func (t *Topology) Validate(n int) error {
+	if t.Radix < 2 {
+		return fmt.Errorf("fattree: radix %d too small, need >= 2 (even radix assumed)", t.Radix)
+	}
 	if n < 1 {
 		return fmt.Errorf("fattree: need at least one host, got %d", n)
 	}

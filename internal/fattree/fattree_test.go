@@ -33,6 +33,35 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsTinyRadix is the regression test for the radix guard:
+// a radix below 2 leaves HostsPerEdge() at zero, so any topology that
+// slipped through Validate would panic with a divide-by-zero in Hops. The
+// explicit check also gives such configurations a diagnosable error instead
+// of the misleading "0 hosts capacity" message they used to produce.
+func TestValidateRejectsTinyRadix(t *testing.T) {
+	for _, radix := range []int{-4, 0, 1} {
+		tiny := &Topology{
+			Radix:       radix,
+			SwitchDelay: 50 * sim.Nanosecond,
+			WireDelay:   33400 * sim.Picosecond,
+		}
+		if err := tiny.Validate(1); err == nil {
+			t.Fatalf("radix %d passed Validate; Hops would divide by HostsPerEdge() == 0", radix)
+		}
+	}
+	// The smallest constructible tree still validates, and its path
+	// computation (the would-be panic site) works.
+	small := &Topology{Radix: 2, SwitchDelay: sim.Nanosecond, WireDelay: sim.Nanosecond}
+	if err := small.Validate(2); err != nil {
+		t.Fatalf("radix 2 should validate: %v", err)
+	}
+	// One host per edge switch and per pod at radix 2, so distinct hosts
+	// are always inter-pod: 5 switches, 6 wires.
+	if s, w := small.Hops(0, 1); s != 5 || w != 6 {
+		t.Fatalf("Hops(0,1) on radix-2 tree = %d switches, %d wires; want 5, 6", s, w)
+	}
+}
+
 func TestHops(t *testing.T) {
 	ft := Default()
 	cases := []struct {

@@ -81,6 +81,13 @@ func New(cfg Config) *Bus {
 	return &Bus{Config: cfg, res: sim.NewIntervals("membus-" + cfg.Name)}
 }
 
+// Reset returns the bus to its post-construction (idle) state.
+func (b *Bus) Reset() {
+	b.res.Reset()
+	b.Transactions = 0
+	b.BytesMoved = 0
+}
+
 // Write issues a posted write of n bytes at time now. It returns the instant
 // the initiator is released (initiation only) and the instant the data is
 // globally visible in host memory.

@@ -94,6 +94,14 @@ type Receiver interface {
 	ReceivePacket(now sim.Time, pkt *Packet)
 }
 
+// Resetter is implemented by receivers that can return to their
+// post-construction state. Cluster.Reset resets every installed receiver
+// that implements it, which is how a reset cascades from the transport into
+// the Portals/runtime layers without netsim importing them.
+type Resetter interface {
+	Reset()
+}
+
 // Node is one network endpoint: a host CPU, its NIC (egress + matching
 // unit), and the NIC<->memory bus.
 type Node struct {
@@ -145,6 +153,41 @@ func NewCluster(n int, p Params) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// Reset returns the cluster to its post-construction state so one cluster
+// can serve an entire measurement sweep instead of a single point: the
+// engine's clock, queue, and sequence counter restart at zero; every node's
+// egress, matching unit, memory bus, and core pool go idle; installed
+// receivers that implement Resetter (the Portals NI and, through it, the
+// sPIN runtime) are reset; the attached timeline recorder (if any) is
+// cleared; and message IDs and statistics restart. The engine-owned free
+// lists (packets, walks) are deliberately retained — that is the point of
+// reuse — and cannot leak stale state because every pooled object is fully
+// reinitialized on allocation.
+//
+// Determinism contract: a reset cluster produces bit-identical simulated
+// times to a freshly constructed one, because every input to the event
+// order — the clock, the (time, seq) tie-breaks, and all busy-until
+// trajectories — restarts exactly as construction leaves it. Free-list and
+// map-bucket reuse changes only allocation behaviour, never simulated time;
+// no simulation path iterates those maps.
+func (c *Cluster) Reset() {
+	c.Eng.Reset()
+	for _, n := range c.Nodes {
+		n.Egress.Reset()
+		n.MatchHW.Reset()
+		n.Bus.Reset()
+		n.Cores.Reset()
+		if r, ok := n.Recv.(Resetter); ok {
+			r.Reset()
+		}
+	}
+	c.Rec.Reset()
+	c.nextID = 0
+	c.MessagesSent = 0
+	c.PacketsSent = 0
+	c.BytesSent = 0
 }
 
 // NextID returns a fresh message ID.

@@ -124,6 +124,22 @@ func NewNI(c *netsim.Cluster, rank int) *NI {
 	return ni
 }
 
+// Reset returns the interface to its post-construction state — no portal
+// table entries, no outstanding operations, no in-flight receives, zero
+// drops — and resets the attached sPIN runtime. It implements
+// netsim.Resetter, so netsim.Cluster.Reset cascades into the Portals layer
+// automatically. The recvState free list is kept (entries are zeroed on
+// allocation), and map storage is cleared in place so a reused NI allocates
+// nothing to reach its pristine state.
+func (ni *NI) Reset() {
+	clear(ni.pt)
+	clear(ni.outstanding)
+	clear(ni.recvStates)
+	clear(ni.channels)
+	ni.Drops = 0
+	ni.RT.Reset()
+}
+
 // Setup creates one NI per node and returns them.
 func Setup(c *netsim.Cluster) []*NI {
 	nis := make([]*NI, len(c.Nodes))

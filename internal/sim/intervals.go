@@ -27,6 +27,14 @@ const maxSpans = 4096
 // NewIntervals returns an idle interval resource.
 func NewIntervals(name string) *Intervals { return &Intervals{Name: name} }
 
+// Reset returns the resource to its post-construction (idle) state, keeping
+// the interval slice's capacity for reuse.
+func (iv *Intervals) Reset() {
+	iv.busy = iv.busy[:0]
+	iv.floor = 0
+	iv.Busy = 0
+}
+
 // place finds the earliest feasible start >= earliest for a reservation of
 // the given width and the insertion index, without committing.
 func (iv *Intervals) place(earliest, occupancy Time) (start Time, idx int) {
@@ -143,6 +151,13 @@ func NewIntervalPool(name string, k int) *IntervalPool {
 
 // Size returns the number of servers.
 func (p *IntervalPool) Size() int { return len(p.servers) }
+
+// Reset returns every server to its post-construction (idle) state.
+func (p *IntervalPool) Reset() {
+	for _, s := range p.servers {
+		s.Reset()
+	}
+}
 
 // AcquireAny reserves occupancy on the server able to start it earliest
 // (ties toward lower indices) and returns the server index and start time.

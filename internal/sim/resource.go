@@ -15,6 +15,12 @@ type Resource struct {
 // NewResource returns an idle resource.
 func NewResource(name string) *Resource { return &Resource{Name: name} }
 
+// Reset returns the resource to its post-construction (idle) state.
+func (r *Resource) Reset() {
+	r.busyUntil = 0
+	r.Busy = 0
+}
+
 // Acquire reserves the resource for occupancy starting no earlier than
 // earliest and returns the actual start time.
 func (r *Resource) Acquire(earliest, occupancy Time) (start Time) {
@@ -57,6 +63,13 @@ func NewPool(name string, k int) *Pool {
 
 // Size returns the number of servers.
 func (p *Pool) Size() int { return len(p.servers) }
+
+// Reset returns every server to its post-construction (idle) state.
+func (p *Pool) Reset() {
+	for i := range p.servers {
+		p.servers[i].Reset()
+	}
+}
 
 // earliestServer returns the server that can start new work first (ties
 // broken toward lower indices) and the instant it frees up.

@@ -87,6 +87,24 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to its post-construction state: clock at zero,
+// sequence counter at zero, empty queue. The event slice's capacity is
+// retained so a reset engine schedules without growing the heap again; any
+// still-queued events are dropped (their callbacks never run) and their
+// references released. Reset is the engine-level half of the cluster-reuse
+// contract: a reset engine is indistinguishable from a fresh one to the
+// simulation, because scheduling order depends only on (time, seq) pairs,
+// which restart identically.
+func (e *Engine) Reset() {
+	for i := range e.events {
+		e.events[i] = event{} // release fn/arg references for the GC
+	}
+	e.events = e.events[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+}
+
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -132,6 +132,45 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineResetMatchesFresh pins the cluster-reuse contract at the engine
+// level: after Reset, a reused engine must schedule and dispatch a workload
+// with exactly the trajectory a fresh engine gives it — same visit times,
+// same tie-break order — and drop any still-queued events.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	workload := func(e *Engine) []Time {
+		var got []Time
+		for i := 0; i < 4; i++ {
+			e.Schedule(Time(10), func() { got = append(got, e.Now()) }) // ties: FIFO
+		}
+		e.After(5, func() {
+			got = append(got, e.Now())
+			e.After(20, func() { got = append(got, e.Now()) })
+		})
+		e.Run()
+		return got
+	}
+	fresh := NewEngine()
+	want := workload(fresh)
+
+	reused := NewEngine()
+	workload(reused)
+	reused.Schedule(reused.Now()+100, func() { t.Fatal("event survived Reset") })
+	reused.Reset()
+	if reused.Now() != 0 || reused.Pending() != 0 || reused.Processed() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d processed=%d, want all zero",
+			reused.Now(), reused.Pending(), reused.Processed())
+	}
+	got := workload(reused)
+	if len(got) != len(want) {
+		t.Fatalf("event counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v on reused engine, %v on fresh", i, got[i], want[i])
+		}
+	}
+}
+
 // Property: for any set of deadlines, execution visits them in sorted order.
 func TestEngineOrderProperty(t *testing.T) {
 	f := func(raw []uint16) bool {

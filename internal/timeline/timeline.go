@@ -35,8 +35,12 @@ type Recorder struct {
 	// index maps (rank, lane) to the positions of that row's spans, so
 	// rendering is linear in the chart instead of quadratic in spans. It is
 	// built lazily on first query and rebuilt whenever Spans has grown.
+	// indexedLen and indexedPtr remember how much of which backing array
+	// the index covers, so build can detect truncation and reassignment of
+	// the exported Spans field.
 	index      map[laneKey][]int32
 	indexedLen int
+	indexedPtr *Span
 }
 
 type laneKey struct {
@@ -72,18 +76,48 @@ func (r *Recorder) Recordf(rank int, lane string, start, end sim.Time, format st
 	r.Record(rank, lane, start, end, fmt.Sprintf(format, args...))
 }
 
+// Reset discards all recorded spans and the derived index, returning the
+// recorder to its post-construction state (span capacity is kept). Calling
+// Reset on a nil Recorder is a no-op, mirroring Record.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.Spans = r.Spans[:0]
+	r.index = nil
+	r.indexedLen = 0
+	r.indexedPtr = nil
+}
+
 // build refreshes the (rank, lane) index if spans were added since the last
-// query. Spans are only ever appended, so a stale index is extended, never
-// invalidated.
+// query. The index assumes Spans grows by appending, but Spans is an
+// exported field: if a caller truncated it (len shrank below the indexed
+// length, where the stale positions would read out of range) or replaced it
+// with a different backing array since the last query, the index is rebuilt
+// from scratch instead. The one mutation O(1) bookkeeping cannot see is an
+// in-place rewrite that keeps the backing array and at least the indexed
+// length — truncate-then-regrow through append included — which renders
+// from the overwritten values (possibly under stale lanes) but never reads
+// out of range; use Reset to clear a recorder for reuse.
 func (r *Recorder) build() {
-	if r.index == nil {
+	stale := r.index == nil || r.indexedLen > len(r.Spans)
+	if !stale && r.indexedLen > 0 && &r.Spans[0] != r.indexedPtr {
+		stale = true // Spans was reassigned to a different array
+	}
+	if stale {
 		r.index = make(map[laneKey][]int32)
+		r.indexedLen = 0
 	}
 	for i := r.indexedLen; i < len(r.Spans); i++ {
 		k := laneKey{r.Spans[i].Rank, r.Spans[i].Lane}
 		r.index[k] = append(r.index[k], int32(i))
 	}
 	r.indexedLen = len(r.Spans)
+	if r.indexedLen > 0 {
+		r.indexedPtr = &r.Spans[0]
+	} else {
+		r.indexedPtr = nil
+	}
 }
 
 // Lanes returns the sorted set of lanes seen for a rank.

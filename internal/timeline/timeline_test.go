@@ -123,6 +123,80 @@ func TestRenderASCIIShowsBusyCells(t *testing.T) {
 	}
 }
 
+// TestRenderSurvivesSpanTruncation pins the stale-index guard: Spans is an
+// exported field, and a caller that truncates or replaces it between
+// queries must get a rebuilt index, not an out-of-range panic from the
+// positions cached for the longer slice.
+func TestRenderSurvivesSpanTruncation(t *testing.T) {
+	r := &Recorder{}
+	for i := 0; i < 4; i++ {
+		r.Record(i, "NIC", 0, sim.Time(i+1)*10*sim.Nanosecond, "tx")
+	}
+	var buf bytes.Buffer
+	r.RenderASCII(&buf, 20) // builds the index over 4 spans
+
+	r.Spans = r.Spans[:1] // external truncation invalidates 3 cached positions
+	buf.Reset()
+	r.RenderASCII(&buf, 20) // must not panic
+	if out := buf.String(); !strings.Contains(out, "Rank 0") || strings.Contains(out, "Rank 3") {
+		t.Fatalf("render after truncation shows wrong ranks:\n%s", out)
+	}
+	if got := r.Ranks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Ranks after truncation = %v, want [0]", got)
+	}
+
+	r.Spans = nil // full reassignment
+	if got := r.Ranks(); len(got) != 0 {
+		t.Fatalf("Ranks after reassignment = %v, want none", got)
+	}
+	r.Record(7, "DMA", 0, 30*sim.Nanosecond, "deposit") // index grows again
+	if got := r.Ranks(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Ranks after re-recording = %v, want [7]", got)
+	}
+}
+
+// TestRanksSeeReassignedSpans pins the backing-array check: replacing Spans
+// with a different slice that is as long as the indexed prefix (so the
+// length guard alone cannot notice) must still invalidate the index.
+func TestRanksSeeReassignedSpans(t *testing.T) {
+	r := &Recorder{}
+	r.Record(0, "NIC", 0, 10*sim.Nanosecond, "tx")
+	r.Record(0, "NIC", 0, 20*sim.Nanosecond, "tx")
+	if got := r.Ranks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Ranks = %v, want [0]", got)
+	}
+	r.Spans = []Span{ // same length, new array, different rank/lane
+		{Rank: 5, Lane: "DMA", Start: 0, End: 10 * sim.Nanosecond},
+		{Rank: 5, Lane: "DMA", Start: 0, End: 20 * sim.Nanosecond},
+	}
+	if got := r.Ranks(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Ranks after reassignment = %v, want [5]", got)
+	}
+	if got := r.Lanes(5); len(got) != 1 || got[0] != "DMA" {
+		t.Fatalf("Lanes(5) after reassignment = %v, want [DMA]", got)
+	}
+}
+
+// TestResetClearsRecorder pins Reset's post-construction contract (and its
+// nil-safety, matching Record).
+func TestResetClearsRecorder(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.Reset() // must not panic
+	r := &Recorder{}
+	r.Record(1, "NIC", 0, 10*sim.Nanosecond, "tx")
+	if got := r.Ranks(); len(got) != 1 {
+		t.Fatalf("Ranks = %v", got)
+	}
+	r.Reset()
+	if len(r.Spans) != 0 || r.End() != 0 || len(r.Ranks()) != 0 {
+		t.Fatalf("Reset left state: spans=%d end=%v ranks=%v", len(r.Spans), r.End(), r.Ranks())
+	}
+	r.Record(2, "CPU", 0, 5*sim.Nanosecond, "post")
+	if got := r.Ranks(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Ranks after reuse = %v, want [2]", got)
+	}
+}
+
 func TestRenderASCIIEmpty(t *testing.T) {
 	r := &Recorder{}
 	var buf bytes.Buffer

@@ -13,6 +13,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== sweep determinism smoke (fresh vs Reset-reuse vs parallel) =="
+# Byte-equality of fig3b/fig5a/table5c output across the from-scratch,
+# serial-reuse, and sharded-parallel runners: a nondeterministic merge or a
+# state field missed by a Reset fails here before it can corrupt a figure.
+go test -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
+
 echo "== perf smoke (BenchmarkFig3b, 1x) =="
 go test -run='^$' -bench=BenchmarkFig3b -benchtime=1x -benchmem .
 
