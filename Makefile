@@ -1,12 +1,19 @@
-# Tier-1 verification plus a perf smoke: `make check` is the one command
-# CI and contributors run before merging.
+# Tier-1 verification plus the merge gates: `make check` is the one command
+# CI (.github/workflows/ci.yml) and contributors run before merging.
 
 GO ?= go
 
-.PHONY: check build test vet bench bench-micro
+.PHONY: check build test vet race bench bench-micro
 
 check:
 	sh scripts/check.sh
+
+# race gates the parallel sweep / concurrent-experiment runners; CI runs
+# this as its own job.
+race:
+	$(GO) test -race ./...
+	$(GO) test -race -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
+	$(GO) test -race -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,89 @@
+// Allocation-budget regression gates for the hot paths tracked in
+// BENCH_core.json. The budgets are deliberately looser than the measured
+// numbers (they are ceilings, not targets) so routine noise never trips
+// them, but a regression that reintroduces per-event or per-replay
+// allocation — a closure on the schedule path, a lost free list, a cache
+// bypass — fails here before it can land. scripts/check.sh (and therefore
+// CI's `make check`) runs this test on every merge.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Budgets, mirroring BENCH_core.json:
+//
+//   - engineScheduleBudget: the per-event path has been allocation-free
+//     since PR 1 (BenchmarkEngineSchedule 0 allocs/op).
+//   - clusterSendLargeBudget: BenchmarkClusterSendLarge measures 7
+//     allocs per 256-packet message on a cold cluster; steady state on a
+//     warm cluster is lower still.
+//   - table5cBudget: one Table 5c regeneration at benchScale. PR 2
+//     measured 6,539,299 allocs; the PR-3 replay-engine reuse brings it to
+//     ~439k. The budget admits drift to 800k — any return toward the
+//     per-replay-engine regime (a 4x regression gate relative to pr2).
+const (
+	engineScheduleBudget   = 0
+	clusterSendLargeBudget = 7
+	table5cBudget          = 800_000
+)
+
+func TestAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budgets gated in the non-race job")
+	}
+	if testing.Short() {
+		t.Skip("alloc budgets regenerate Table 5c; skipped in -short")
+	}
+
+	t.Run("EngineSchedule", func(t *testing.T) {
+		e := sim.NewEngine()
+		fn := func() {}
+		for i := 0; i < 1024; i++ {
+			e.Schedule(sim.Time(i), fn)
+		}
+		i := 0
+		got := testing.AllocsPerRun(1000, func() {
+			e.Schedule(e.Now()+sim.Time(i%64)+1, fn)
+			e.Step()
+			i++
+		})
+		if got > engineScheduleBudget {
+			t.Errorf("schedule+dispatch = %.1f allocs/op, budget %d", got, engineScheduleBudget)
+		}
+	})
+
+	t.Run("ClusterSendLarge", func(t *testing.T) {
+		p := netsim.Integrated()
+		const size = 1 << 20
+		c, err := netsim.NewCluster(2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := testing.AllocsPerRun(20, func() {
+			c.Send(c.Eng.Now(), &netsim.Message{Type: netsim.OpPut, Src: 0, Dst: 1, Length: size})
+			c.Eng.Run()
+		})
+		if got > clusterSendLargeBudget {
+			t.Errorf("1 MiB send = %.1f allocs/op, budget %d", got, clusterSendLargeBudget)
+		}
+	})
+
+	t.Run("Table5c", func(t *testing.T) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Table5c(benchScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if got := res.AllocsPerOp(); got > table5cBudget {
+			t.Errorf("Table5c regeneration = %d allocs/op, budget %d", got, table5cBudget)
+		}
+	})
+}

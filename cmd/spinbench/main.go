@@ -8,76 +8,173 @@
 //	spinbench -exp fig3b       # one experiment
 //	spinbench -exp fig3b,fig5a # several experiments
 //	spinbench -scale 4         # subsample sweeps for a quick look
-//	spinbench -parallel 0      # shard sweep points across GOMAXPROCS workers
+//	spinbench -parallel 0      # parallelize across GOMAXPROCS workers
 //	spinbench -csv             # machine-readable output
 //	spinbench -list            # list experiment ids
 //	spinbench -wall            # report wall time + allocations per experiment
 //
-// Parallel runs are byte-identical to serial ones: points are assigned to
-// workers deterministically and merged back in point order, and each worker
-// reuses its clusters via netsim's Reset, which is simulation-equivalent to
-// rebuilding them.
+// -parallel N parallelizes on two levels: up to N independent experiments
+// run concurrently, and within each experiment the sweep shards its
+// measurement points across N workers (the PR-2 runner). Output stays
+// byte-identical to a serial run: each experiment renders into its own
+// buffer and the buffers are flushed in selection order, points are
+// assigned to sweep workers deterministically and merged back in point
+// order, and every worker reuses its simulation state via the Reset
+// contract, which is simulation-equivalent to rebuilding.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiment ids (see -list)")
-	scale := flag.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	list := flag.Bool("list", false, "list experiments and exit")
-	wall := flag.Bool("wall", false, "report wall-clock time and heap allocations per experiment on stderr")
-	parallel := flag.Int("parallel", 1, "sweep workers per experiment (1 = serial, 0 = GOMAXPROCS)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against the given streams and returns the process
+// exit code. It exists (rather than doing everything in main) so the
+// serial-vs-concurrent output-equality test can drive the real pipeline.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spinbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "comma-separated experiment ids (see -list)")
+	scale := fs.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := fs.Bool("list", false, "list experiments and exit")
+	wall := fs.Bool("wall", false, "report wall-clock time and heap allocations per experiment on stderr")
+	parallel := fs.Int("parallel", 1, "concurrent experiments and sweep workers per experiment (1 = serial, 0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	exps := bench.Experiments()
 	if *list {
 		for _, e := range exps {
-			fmt.Printf("%-12s %s\n", e.ID, e.Desc)
+			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Desc)
 		}
-		return
+		return 0
 	}
 	sel, unknown := selectExperiments(exps, *exp)
 	if len(unknown) > 0 {
-		fmt.Fprintf(os.Stderr, "spinbench: unknown experiment ids: %s (use -list)\n",
+		fmt.Fprintf(stderr, "spinbench: unknown experiment ids: %s (use -list)\n",
 			strings.Join(unknown, ", "))
-		os.Exit(1)
+		return 1
 	}
 	if len(sel) == 0 {
-		fmt.Fprintf(os.Stderr, "spinbench: no experiment ids in %q (use -list)\n", *exp)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "spinbench: no experiment ids in %q (use -list)\n", *exp)
+		return 1
 	}
-	for _, e := range sel {
-		t0 := time.Now()
-		var m0 runtime.MemStats
-		if *wall {
-			runtime.ReadMemStats(&m0)
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(sel) == 1 {
+		// Serial: run and flush experiment by experiment (streaming), which
+		// produces the reference byte stream the concurrent path matches.
+		for _, e := range sel {
+			var o expOutput
+			runExperiment(e, *scale, *parallel, *csv, *wall, &o)
+			if flushExperiment(e, &o, stdout, stderr) != 0 {
+				return 1
+			}
 		}
-		tab, err := e.Build(*scale).Run(*parallel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "spinbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		return 0
+	}
+	// Concurrent experiments: shard across workers exactly like bench.Sweep
+	// shards points — experiment i runs on worker i mod W. Each experiment
+	// renders into its own buffer, so the flush below reproduces the serial
+	// byte stream regardless of completion order. Note -wall alloc counts
+	// include concurrently running experiments in this mode
+	// (runtime.MemStats is process-global).
+	if workers > len(sel) {
+		workers = len(sel)
+	}
+	outs := make([]expOutput, len(sel))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(sel); i += workers {
+				runExperiment(sel[i], *scale, *parallel, *csv, *wall, &outs[i])
+				if outs[i].err != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Flush buffered output in selection order; stop at the first failed
+	// experiment, which is what a serial run would have printed.
+	for i := range outs {
+		if code := flushExperiment(sel[i], &outs[i], stdout, stderr); code != 0 {
+			return code
 		}
-		if *wall {
-			var m1 runtime.MemStats
-			runtime.ReadMemStats(&m1)
-			fmt.Fprintf(os.Stderr, "spinbench: %s: %v wall, %d allocs\n",
-				e.ID, time.Since(t0).Round(time.Millisecond), m1.Mallocs-m0.Mallocs)
-		}
-		if *csv {
-			tab.CSV(os.Stdout)
-		} else {
-			tab.Fprint(os.Stdout)
-		}
+	}
+	return 0
+}
+
+// flushExperiment writes one experiment's buffered output (or its error)
+// to the real streams, returning the exit code so far.
+func flushExperiment(e bench.Experiment, o *expOutput, stdout, stderr io.Writer) int {
+	if o.err != nil {
+		fmt.Fprintf(stderr, "spinbench: %s: %v\n", e.ID, o.err)
+		return 1
+	}
+	if _, err := stdout.Write(o.out.Bytes()); err != nil {
+		fmt.Fprintf(stderr, "spinbench: %v\n", err)
+		return 1
+	}
+	stderr.Write(o.diag.Bytes())
+	return 0
+}
+
+// expOutput collects one experiment's rendered table (out), its -wall
+// diagnostics (diag), and its error, for in-order flushing.
+type expOutput struct {
+	out  bytes.Buffer
+	diag bytes.Buffer
+	err  error
+}
+
+// runExperiment builds and runs one experiment, rendering into o.
+func runExperiment(e bench.Experiment, scale, parallel int, csv, wall bool, o *expOutput) {
+	t0 := time.Now()
+	var m0 runtime.MemStats
+	if wall {
+		runtime.ReadMemStats(&m0)
+	}
+	tab, err := e.Build(scale).Run(parallel)
+	if err != nil {
+		o.err = err
+		return
+	}
+	if wall {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		fmt.Fprintf(&o.diag, "spinbench: %s: %v wall, %d allocs\n",
+			e.ID, time.Since(t0).Round(time.Millisecond), m1.Mallocs-m0.Mallocs)
+	}
+	if csv {
+		tab.CSV(&o.out)
+	} else {
+		tab.Fprint(&o.out)
 	}
 }
 

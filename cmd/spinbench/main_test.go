@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the real pipeline and returns (stdout, exit code).
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	if code != 0 && !strings.Contains(strings.Join(args, " "), "bogus") {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, errOut.String())
+	}
+	return out.String(), code
+}
+
+// TestSerialVsConcurrentExperimentsByteIdentical is the experiment-level
+// half of the determinism contract: running several experiments
+// concurrently (with per-experiment output buffering) must produce exactly
+// the bytes a serial run prints, table and CSV mode alike. The selection
+// mixes a cluster-cache experiment (fig3b), the analytic model (fig4), and
+// the mpisim replay-engine cache (table5c at a deep subsample); the raidsim
+// cache path is pinned by the bench-level golden test
+// (TestSweepResetAndParallelDeterminism), which replays spc fully and is
+// too slow to repeat six times here.
+func TestSerialVsConcurrentExperimentsByteIdentical(t *testing.T) {
+	for _, mode := range []string{"-csv", "-wall"} {
+		sel := "fig3b,fig4,table5c"
+		serial, _ := runCLI(t, "-exp", sel, "-scale", "8", mode, "-parallel", "1")
+		conc, _ := runCLI(t, "-exp", sel, "-scale", "8", mode, "-parallel", "3")
+		if serial != conc {
+			t.Fatalf("%s: concurrent output differs from serial:\n--- serial ---\n%s--- concurrent ---\n%s", mode, serial, conc)
+		}
+		all, _ := runCLI(t, "-exp", sel, "-scale", "8", mode, "-parallel", "0")
+		if serial != all {
+			t.Fatalf("%s: -parallel 0 output differs from serial", mode)
+		}
+	}
+}
+
+// TestUnknownExperimentStillRejected pins the PR-2 behaviour through the
+// run() refactor: unknown ids are reported before anything runs.
+func TestUnknownExperimentStillRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "fig3b,bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("experiments ran despite unknown id:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "bogus") {
+		t.Fatalf("unknown id not named: %s", errOut.String())
+	}
+}
+
+// TestListStable pins -list output shape.
+func TestListStable(t *testing.T) {
+	out, _ := runCLI(t, "-list")
+	if !strings.Contains(out, "fig3b") || !strings.Contains(out, "table5c") || !strings.Contains(out, "spc") {
+		t.Fatalf("-list missing experiments:\n%s", out)
+	}
+}

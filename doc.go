@@ -49,15 +49,29 @@
 //     to the event order (clock, (time, seq) tie-breaks, busy-until
 //     trajectories) restarts exactly as construction leaves it; pooled-
 //     object and map-bucket reuse changes only allocation behaviour.
+//   - Replay-engine reuse. The two trace-replay engines follow the same
+//     contract: mpisim.Engine.Reset rebinds an engine to a new program set
+//     on the same cluster (protocol maps cleared in place; every request,
+//     arrival, and wire message drawn from engine-owned free lists — never
+//     sync.Pool), and raidsim.System.Reset re-arms the RAID service with
+//     its portal tables, MEs, and handler scratchpad intact
+//     (netsim.Cluster.ResetCore + portals.NI.ResetInFlight). bench.Env
+//     caches both, which took a Table 5c regeneration from 6.54M to 439k
+//     allocations (14.9x). Reset == fresh is pinned bit-exactly by
+//     engine-, system-, and sweep-level golden tests.
 //   - Parallel sweeps. The engine stays single-threaded by design, so
 //     bench.Sweep parallelizes across measurement points instead: point i
 //     runs on worker i mod W (each worker owns its Env, engines, and
 //     clusters), and rows merge back in point order, making the output
-//     byte-identical for every worker count — pinned by the
-//     serial-vs-parallel golden test that `make check` runs, and exposed as
+//     byte-identical for every worker count. cmd/spinbench additionally
+//     runs independent experiments concurrently with per-experiment output
+//     buffering, preserving the serial byte stream — both levels pinned by
+//     golden tests that `make check` runs, and exposed as
 //     `spinbench -parallel`.
 //
-// BENCH_core.json records the measured trajectory; scripts/check.sh (or
-// `make check`) runs tier-1 plus the determinism and perf smokes in one
-// command.
+// BENCH_core.json records the measured trajectory (with the enforced
+// allocation budgets); scripts/check.sh (or `make check`) runs tier-1 plus
+// the determinism, alloc-budget, and perf gates in one command, and the CI
+// workflow (.github/workflows/ci.yml) runs exactly that plus a race job on
+// every push and pull request.
 package repro

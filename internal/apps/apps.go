@@ -144,16 +144,30 @@ func (a App) MessagesPerIteration() uint64 {
 	return uint64(n * a.Ranks)
 }
 
+// Runner executes one program set and returns the replay result. bench
+// supplies either a fresh-engine runner (Replay) or one that reuses a
+// cached engine across calls via mpisim.Engine.Reset.
+type Runner func(progs [][]mpisim.Op) (mpisim.Result, error)
+
+// Replay returns a Runner that builds a fresh engine per program set — the
+// no-reuse baseline.
+func Replay(cfg mpisim.Config) Runner {
+	return func(progs [][]mpisim.Op) (mpisim.Result, error) {
+		e, err := mpisim.New(cfg, progs)
+		if err != nil {
+			return mpisim.Result{}, err
+		}
+		return e.Run()
+	}
+}
+
 // Calibrate picks the per-iteration compute time so the baseline's
 // point-to-point fraction matches the paper's: it probe-runs a few
 // iterations without compute to measure the communication cost per
-// iteration, then solves comm/(comm+compute) = target.
-func (a App) Calibrate(cfg mpisim.Config, probeIters int) (sim.Time, error) {
-	e, err := mpisim.New(cfg, a.Programs(probeIters, 0))
-	if err != nil {
-		return 0, err
-	}
-	res, err := e.Run()
+// iteration, then solves comm/(comm+compute) = target. run must replay
+// with the baseline (HostMatching) configuration.
+func (a App) Calibrate(run Runner, probeIters int) (sim.Time, error) {
+	res, err := run(a.Programs(probeIters, 0))
 	if err != nil {
 		return 0, err
 	}

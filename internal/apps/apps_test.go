@@ -101,7 +101,7 @@ func TestProgramsRunToCompletion(t *testing.T) {
 
 func TestCalibrateProducesPositiveCompute(t *testing.T) {
 	a := App{Name: "t", Ranks: 4, Dims: []int{2, 2}, HaloBytes: []int{8192, 8192}, TargetP2PFraction: 0.05}
-	d, err := a.Calibrate(mpisim.DefaultConfig(mpisim.HostMatching), 4)
+	d, err := a.Calibrate(Replay(mpisim.DefaultConfig(mpisim.HostMatching)), 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,20 +25,18 @@ type AppResult struct {
 	SpinRuntime float64 // seconds
 }
 
-// RunApp replays one application with both protocol engines.
-func RunApp(a apps.App, iterations int) (AppResult, error) {
-	baseCfg := mpisim.DefaultConfig(mpisim.HostMatching)
-	compute, err := a.Calibrate(baseCfg, 8)
+// RunApp replays one application with both protocol engines, drawing the
+// engines from the Env's replay-engine cache (a nil Env builds them fresh
+// per run, the pre-reuse behaviour).
+func RunApp(e *Env, a apps.App, iterations int) (AppResult, error) {
+	baseRun := e.mpiRunner(mpisim.DefaultConfig(mpisim.HostMatching))
+	compute, err := a.Calibrate(baseRun, 8)
 	if err != nil {
 		return AppResult{}, err
 	}
 	progs := a.Programs(iterations, compute)
 
-	be, err := mpisim.New(baseCfg, progs)
-	if err != nil {
-		return AppResult{}, err
-	}
-	base, err := be.Run()
+	base, err := baseRun(progs)
 	if err != nil {
 		return AppResult{}, err
 	}
@@ -48,21 +46,13 @@ func RunApp(a apps.App, iterations int) (AppResult, error) {
 	if got := base.OverheadFraction(a.Ranks); got > 0.001 && got < a.TargetP2PFraction {
 		compute = sim.Time(float64(compute) * got / a.TargetP2PFraction)
 		progs = a.Programs(iterations, compute)
-		be, err = mpisim.New(baseCfg, progs)
-		if err != nil {
-			return AppResult{}, err
-		}
-		base, err = be.Run()
+		base, err = baseRun(progs)
 		if err != nil {
 			return AppResult{}, err
 		}
 	}
 
-	se, err := mpisim.New(mpisim.DefaultConfig(mpisim.SpinMatching), progs)
-	if err != nil {
-		return AppResult{}, err
-	}
-	spin, err := se.Run()
+	spin, err := e.mpiRunner(mpisim.DefaultConfig(mpisim.SpinMatching))(progs)
 	if err != nil {
 		return AppResult{}, err
 	}
@@ -81,9 +71,10 @@ func RunApp(a apps.App, iterations int) (AppResult, error) {
 // offloaded matching protocols.
 func Table5c(scale int) (*Table, error) { return table5cSweep(scale).Run(1) }
 
-// table5cSweep lays out one point per application. The mpisim replays build
-// their own engines (the rank-program state machine is not cluster-shaped),
-// so the points do not draw on the Env — they parallelize but do not reuse.
+// table5cSweep lays out one point per application. The replays draw their
+// engines from the Env's mpisim cache: applications sharing a rank count
+// and protocol reuse one engine (Reset per program set), so the sweep pays
+// cluster construction once per (ranks, mode) instead of per replay.
 func table5cSweep(scale int) *Sweep {
 	if scale < 1 {
 		scale = 1
@@ -99,8 +90,8 @@ func table5cSweep(scale int) *Sweep {
 		Notes:  "paper traces are full-length (MILC 5.7M, POP 772M, coMD 5.3M/28.1M, Cloverleaf 2.7M/15.3M msgs)",
 	})
 	for _, a := range apps.Suite() {
-		s.Row(func(*Env) ([]string, error) {
-			r, err := RunApp(a, iters)
+		s.Row(func(e *Env) ([]string, error) {
+			r, err := RunApp(e, a, iters)
 			if err != nil {
 				return nil, err
 			}

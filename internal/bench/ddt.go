@@ -47,7 +47,9 @@ func stridedReceiveTime(e *Env, p netsim.Params, spin bool, blocksize int) (sim.
 			return 0, err
 		}
 		handlers.InitDDTState(mem.Buf, handlers.DDTConfig{Blocksize: blocksize, Gap: blocksize})
-		me.Start = make([]byte, 2*DDTTotalBytes+blocksize)
+		// Timing-only deposit target; drawn from the Env's scratch region
+		// so the 8 MiB landing area is not re-allocated per point.
+		me.Start = e.hostMem(2*DDTTotalBytes + blocksize)
 		me.HPUMem = mem
 		me.Handlers = handlers.DDTVector()
 		eq.OnEvent(func(ev portals.Event) {

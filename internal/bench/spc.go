@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/netsim"
-	"repro/internal/raidsim"
 	"repro/internal/sim"
 	"repro/internal/spctrace"
 )
@@ -17,11 +16,7 @@ const SPCOpsPerTrace = 400
 // ReplayTrace runs one trace on a fresh RAID-5 system and returns the
 // total processing time.
 func ReplayTrace(p netsim.Params, spin bool, recs []spctrace.Record) (sim.Time, error) {
-	sys, err := raidsim.New(p, spin)
-	if err != nil {
-		return 0, err
-	}
-	return sys.Replay(recs)
+	return replayTrace(nil, p, spin, recs)
 }
 
 // SPCTraces regenerates the §5.3 trace study: processing-time improvement
@@ -32,8 +27,9 @@ func SPCTraces() (*Table, error) { return spcSweep(1).Run(1) }
 
 // spcSweep lays out one point per trace. The trace records are generated
 // once at build time and shared read-only by the replay points; the RAID
-// systems themselves are built per replay (raidsim owns its protocol state),
-// so like table5c these points parallelize but do not reuse.
+// systems come from the Env's raidsim cache — one service per (NIC type,
+// protocol), Reset between traces — so the sweep builds four systems
+// instead of twenty.
 func spcSweep(int) *Sweep {
 	s := NewSweep(&Table{
 		ID:    "spc",
@@ -46,15 +42,15 @@ func spcSweep(int) *Sweep {
 	traces := spctrace.Suite(SPCOpsPerTrace)
 	for _, name := range spctrace.SuiteNames() {
 		recs := traces[name]
-		s.Row(func(*Env) ([]string, error) {
+		s.Row(func(e *Env) ([]string, error) {
 			stats := spctrace.Summarize(recs)
 			row := []string{name, fmt.Sprintf("%.0f%%", 100*stats.WriteFraction)}
 			for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
-				base, err := ReplayTrace(p, false, recs)
+				base, err := replayTrace(e, p, false, recs)
 				if err != nil {
 					return nil, err
 				}
-				spin, err := ReplayTrace(p, true, recs)
+				spin, err := replayTrace(e, p, true, recs)
 				if err != nil {
 					return nil, err
 				}

@@ -5,8 +5,12 @@ import (
 	"sync"
 
 	"repro/internal/fattree"
+	"repro/internal/mpisim"
 	"repro/internal/netsim"
 	"repro/internal/portals"
+	"repro/internal/raidsim"
+	"repro/internal/sim"
+	"repro/internal/spctrace"
 )
 
 // Env is one sweep worker's reusable simulation environment. Building a
@@ -26,6 +30,14 @@ import (
 // of the determinism tests' fresh baseline.
 type Env struct {
 	clusters map[envKey]*envCluster
+	// mpis and raids extend the same caching to the two trace-replay
+	// engines, which own their clusters and carry protocol state of their
+	// own: they are returned Reset (mpisim.Engine.Reset /
+	// raidsim.System.Reset) under the same reset-equals-fresh contract.
+	mpis  map[mpiKey]*mpisim.Engine
+	raids map[raidKey]*raidsim.System
+	// scratch is the grow-only host-memory region hostMem slices from.
+	scratch []byte
 }
 
 // envKey identifies a cluster configuration by value. netsim.Params is
@@ -44,7 +56,13 @@ type envCluster struct {
 }
 
 // NewEnv returns an empty environment.
-func NewEnv() *Env { return &Env{clusters: make(map[envKey]*envCluster)} }
+func NewEnv() *Env {
+	return &Env{
+		clusters: make(map[envKey]*envCluster),
+		mpis:     make(map[mpiKey]*mpisim.Engine),
+		raids:    make(map[raidKey]*raidsim.System),
+	}
+}
 
 // cluster returns a cluster of n nodes with parameters p, plus its Portals
 // interfaces. On a nil Env (or the first request for a configuration) it
@@ -71,6 +89,112 @@ func (e *Env) cluster(n int, p netsim.Params) (*netsim.Cluster, []*portals.NI, e
 	ec := &envCluster{c: c, nis: portals.Setup(c)}
 	e.clusters[k] = ec
 	return ec.c, ec.nis, nil
+}
+
+// mpiKey identifies an mpisim engine configuration by value: rank count
+// plus every comparable Config field, with the topology dereferenced like
+// envKey. Configs with a Noise function are never cached (functions are not
+// comparable, and noisy replays are rare enough to build fresh).
+type mpiKey struct {
+	n        int
+	mode     mpisim.MatchMode
+	eager    int
+	recvPost sim.Time
+	p        netsim.Params // Topo cleared; represented by topo below
+	topo     fattree.Topology
+}
+
+// mpiEngine returns a replay engine for cfg primed with the given rank
+// programs. On a nil Env or a noisy config it builds one from scratch;
+// otherwise the cached engine for (rank count, configuration) is returned
+// Reset for the new program set — the replay-engine analogue of cluster.
+func (e *Env) mpiEngine(cfg mpisim.Config, progs [][]mpisim.Op) (*mpisim.Engine, error) {
+	if e == nil || cfg.Noise != nil {
+		return mpisim.New(cfg, progs)
+	}
+	k := mpiKey{
+		n: len(progs), mode: cfg.Mode, eager: cfg.EagerThreshold,
+		recvPost: cfg.RecvPostCost, p: cfg.Params, topo: *cfg.Params.Topo,
+	}
+	k.p.Topo = nil
+	if eng, ok := e.mpis[k]; ok {
+		if err := eng.Reset(progs); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	eng, err := mpisim.New(cfg, progs)
+	if err != nil {
+		return nil, err
+	}
+	e.mpis[k] = eng
+	return eng, nil
+}
+
+// mpiRunner adapts mpiEngine to the program-set runner apps.Calibrate and
+// RunApp consume: every invocation replays on the same cached engine.
+func (e *Env) mpiRunner(cfg mpisim.Config) func(progs [][]mpisim.Op) (mpisim.Result, error) {
+	return func(progs [][]mpisim.Op) (mpisim.Result, error) {
+		eng, err := e.mpiEngine(cfg, progs)
+		if err != nil {
+			return mpisim.Result{}, err
+		}
+		return eng.Run()
+	}
+}
+
+// raidKey identifies a RAID system configuration by value (same topology
+// treatment as envKey).
+type raidKey struct {
+	p    netsim.Params // Topo cleared; represented by topo below
+	topo fattree.Topology
+	spin bool
+}
+
+// raidSystem returns a RAID-5 service for (p, spin). On a nil Env it builds
+// one; otherwise the cached system is returned Reset, ready for its next
+// trace replay.
+func (e *Env) raidSystem(p netsim.Params, spin bool) (*raidsim.System, error) {
+	if e == nil {
+		return raidsim.New(p, spin)
+	}
+	k := raidKey{p: p, topo: *p.Topo, spin: spin}
+	k.p.Topo = nil
+	if sys, ok := e.raids[k]; ok {
+		sys.Reset()
+		return sys, nil
+	}
+	sys, err := raidsim.New(p, spin)
+	if err != nil {
+		return nil, err
+	}
+	e.raids[k] = sys
+	return sys, nil
+}
+
+// replayTrace runs one SPC trace on the Env's cached RAID system (or a
+// fresh one on a nil Env) and returns the total processing time.
+func replayTrace(e *Env, p netsim.Params, spin bool, recs []spctrace.Record) (sim.Time, error) {
+	sys, err := e.raidSystem(p, spin)
+	if err != nil {
+		return 0, err
+	}
+	return sys.Replay(recs)
+}
+
+// hostMem returns an n-byte scratch host-memory region for timing-only
+// MEs, growing (and thereafter reusing) one per-Env buffer instead of
+// allocating per measurement point. Contents are unspecified — callers
+// must be NoData/timing-only — and at most one region may be live per
+// point. A nil Env allocates fresh, like every other Env helper.
+func (e *Env) hostMem(n int) []byte {
+	if e == nil {
+		return make([]byte, n)
+	}
+	if cap(e.scratch) < n {
+		e.scratch = make([]byte, n)
+	}
+	return e.scratch[:n]
 }
 
 // Sweep is a deterministic parallel sweep runner: an experiment registers

@@ -28,14 +28,22 @@ func buildExperiment(t *testing.T, id string) Experiment {
 // TestSweepResetAndParallelDeterminism is the golden equality check behind
 // the reuse and parallelism contracts: for each listed experiment the CSV
 // output must be byte-identical across (a) the from-scratch baseline (a
-// fresh cluster per measurement point, the pre-sweep behaviour), (b) the
-// serial runner reusing Reset clusters, and (c) the sharded parallel
-// runner. scripts/check.sh runs this test as the merge gate — a
-// nondeterministic merge or a stale field missed by a Reset shows up here
-// as a byte diff.
+// fresh cluster/engine/system per measurement point, the pre-reuse
+// behaviour), (b) the serial runner reusing Reset state, and (c) the
+// sharded parallel runner. The list covers every reuse mechanism: fig3b
+// and fig5a exercise the cluster cache, table5c the mpisim engine cache,
+// spc the raidsim system cache, and fig7a the non-zeroed Env.hostMem
+// scratch region (at a deeper subsample — it is the slowest experiment and
+// the equality property does not depend on resolution). scripts/check.sh
+// runs this test as the merge gate — a nondeterministic merge or a stale
+// field missed by a Reset shows up here as a byte diff.
 func TestSweepResetAndParallelDeterminism(t *testing.T) {
-	const scale = 4
-	for _, id := range []string{"fig3b", "fig5a", "table5c"} {
+	scales := map[string]int{"fig7a": 8}
+	for _, id := range []string{"fig3b", "fig5a", "table5c", "spc", "fig7a"} {
+		scale := scales[id]
+		if scale == 0 {
+			scale = 4
+		}
 		exp := buildExperiment(t, id)
 		freshTab, err := exp.Build(scale).RunFresh()
 		if err != nil {

@@ -112,9 +112,19 @@ func NewRuntime(c *netsim.Cluster, node *netsim.Node) *Runtime {
 // (every msgState is zeroed on allocation, and the pool sizes that the lane
 // names depend on never change after construction).
 func (rt *Runtime) Reset() {
+	rt.ResetInFlight()
+	rt.hpuMemUsed = 0
+}
+
+// ResetInFlight resets the runtime's transient state — idle HPU contexts
+// and issue units, an empty in-flight message table, zeroed statistics —
+// while keeping scratchpad allocations alive. It is the runtime half of
+// portals.NI.ResetInFlight: reusable systems hold their PtlHPUAllocMem
+// handles across replays, so the accounting must survive (the handler
+// state inside each allocation is re-initialized by the ME reset).
+func (rt *Runtime) ResetInFlight() {
 	rt.HPUs.Reset()
 	rt.issue.Reset()
-	rt.hpuMemUsed = 0
 	clear(rt.msgs)
 	rt.HandlerInvocations = 0
 	rt.HandlerCycles = 0

@@ -36,6 +36,12 @@ func New(c *netsim.Cluster, rank int, nz *noise.Model) *CPU {
 	return &CPU{Node: c.Nodes[rank], P: &c.P, Noise: nz}
 }
 
+// Reset rebinds the CPU's noise model for a new replay on a reused cluster.
+// The CPU carries no other mutable state — core occupancy lives in the
+// node's core pool and is restored by the cluster reset — so this is the
+// whole of its reuse support.
+func (c *CPU) Reset(nz *noise.Model) { c.Noise = nz }
+
 // Exec runs d of CPU work starting no earlier than now on the least-loaded
 // core, inflated by noise, and returns the completion time.
 func (c *CPU) Exec(now sim.Time, d sim.Time) sim.Time {

@@ -14,6 +14,12 @@
 //
 // The engine measures total runtime and the time ranks spend blocked in
 // MPI, which yields Table 5c's overhead and speedup columns.
+//
+// Engines are reusable: Reset returns an engine to its post-construction
+// state for a new program set on the same cluster, and all per-message
+// protocol state (requests, arrivals, wire messages) is drawn from
+// engine-owned free lists, so a steady-state replay allocates almost
+// nothing. See Reset for the determinism contract.
 package mpisim
 
 import (
@@ -68,7 +74,10 @@ type Config struct {
 	Mode   MatchMode
 	// EagerThreshold splits eager from rendezvous transfers.
 	EagerThreshold int
-	// Noise optionally injects OS noise into host CPU work.
+	// Noise optionally injects OS noise into host CPU work. It is invoked
+	// once per rank at construction time; the resulting models are reused
+	// for every compute phase and every Reset (noise.Model is stateless, so
+	// reuse is simulation-identical to rebuilding).
 	Noise func(rank int) *noise.Model
 	// RecvPostCost is the CPU cost of posting a receive.
 	RecvPostCost sim.Time
@@ -126,6 +135,8 @@ type inflight struct {
 }
 
 // pendingArrival is a fully arrived message not yet matched or consumed.
+// It copies everything the protocol needs out of the wire message, so the
+// message itself can be recycled the moment it is dispatched.
 type pendingArrival struct {
 	src    int
 	tag    uint64
@@ -146,6 +157,9 @@ type rank struct {
 	id  int
 	eng *Engine
 	cpu *hostsim.CPU
+	// nz is the rank's noise model, built once at construction (not once
+	// per compute phase) and shared with the CPU.
+	nz *noise.Model
 
 	ops []Op
 	pc  int
@@ -161,9 +175,9 @@ type rank struct {
 	inMPI      bool
 	mpiEnter   sim.Time
 	mpiBlocked sim.Time
-	// pendingProgress queues protocol work (RTS service, eager copies)
+	// pendingProgress queues protocol arrivals (RTS service, eager copies)
 	// until the host enters MPI (baseline mode).
-	pendingProgress []func(now sim.Time)
+	pendingProgress []*pendingArrival
 
 	finished bool
 	endTime  sim.Time
@@ -180,6 +194,16 @@ type Engine struct {
 	rdvPull map[uint64]*sendReq
 	// pullWait maps rendezvous ids to the receiver awaiting the data.
 	pullWait map[uint64]pullDest
+
+	// Engine-owned free lists for per-message protocol state (deliberately
+	// not sync.Pool: the engine is single-threaded and reuse order must be
+	// deterministic for bit-reproducible replays). Objects are zeroed when
+	// drawn, so recycling changes allocation behaviour only.
+	recvFree []*recvReq
+	sendFree []*sendReq
+	paFree   []*pendingArrival
+	inflFree []*inflight
+	msgFree  []*netsim.Message
 
 	Res Result
 }
@@ -203,17 +227,146 @@ func New(cfg Config, programs [][]Op) (*Engine, error) {
 		if cfg.Noise != nil {
 			nz = cfg.Noise(i)
 		}
-		e.rank[i] = &rank{id: i, eng: e, cpu: hostsim.New(c, i, nz), ops: prog}
+		e.rank[i] = &rank{id: i, eng: e, cpu: hostsim.New(c, i, nz), nz: nz, ops: prog}
 		c.Nodes[i].Recv = &nodeRecv{e: e, r: e.rank[i]}
 	}
 	return e, nil
 }
 
+// Ranks returns the number of rank programs the engine replays; Reset
+// requires a program set of the same size.
+func (e *Engine) Ranks() int { return len(e.rank) }
+
+// Reset returns the engine to its post-construction state for a new program
+// set on the same cluster, so one engine per (rank count, configuration) can
+// serve an entire experiment instead of a single replay. The cluster's
+// transport state (engine clock/queue/sequence, resource busy-until
+// timelines, recorder) restarts via netsim.Cluster.ResetCore; the protocol
+// maps are cleared in place; and all outstanding per-message state returns
+// to the engine's free lists.
+//
+// Determinism contract (mirroring netsim.Cluster.Reset): a reset engine
+// produces bit-identical simulated output to a freshly constructed one for
+// the same programs, because every input to the event order restarts
+// exactly — free-list and map-bucket reuse changes allocation behaviour
+// only, and no simulation path iterates those maps.
+func (e *Engine) Reset(programs [][]Op) error {
+	if len(programs) != len(e.rank) {
+		return fmt.Errorf("mpisim: Reset with %d programs on a %d-rank engine", len(programs), len(e.rank))
+	}
+	e.C.ResetCore()
+	// The maps' values are owned by the rank-side lists below (or, for
+	// inflight, by the map itself), so free exactly once from the owner.
+	for _, fl := range e.inflight {
+		e.freeInflight(fl)
+	}
+	clear(e.inflight)
+	clear(e.rdvPull)
+	clear(e.pullWait)
+	e.Res = Result{}
+	for i, r := range e.rank {
+		for _, rr := range r.recvs {
+			e.freeRecvReq(rr)
+		}
+		for _, sr := range r.sends {
+			e.freeSendReq(sr)
+		}
+		for _, pa := range r.unexpected {
+			e.freePA(pa)
+		}
+		for _, pa := range r.pendingProgress {
+			e.freePA(pa)
+		}
+		r.ops = programs[i]
+		r.pc = 0
+		r.posted = r.posted[:0] // entries are owned by (and freed via) recvs
+		r.unexpected = r.unexpected[:0]
+		r.sends = r.sends[:0]
+		r.recvs = r.recvs[:0]
+		r.inMPI = false
+		r.mpiEnter = 0
+		r.mpiBlocked = 0
+		r.pendingProgress = r.pendingProgress[:0]
+		r.finished = false
+		r.endTime = 0
+		r.cpu.Reset(r.nz)
+	}
+	return nil
+}
+
+// Free-list accessors. Every object is zeroed on allocation so pooled reuse
+// can never leak state between messages or replays.
+
+func (e *Engine) allocRecvReq() *recvReq {
+	if n := len(e.recvFree); n > 0 {
+		rr := e.recvFree[n-1]
+		e.recvFree = e.recvFree[:n-1]
+		*rr = recvReq{}
+		return rr
+	}
+	return &recvReq{}
+}
+
+func (e *Engine) freeRecvReq(rr *recvReq) { e.recvFree = append(e.recvFree, rr) }
+
+func (e *Engine) allocSendReq() *sendReq {
+	if n := len(e.sendFree); n > 0 {
+		sr := e.sendFree[n-1]
+		e.sendFree = e.sendFree[:n-1]
+		*sr = sendReq{}
+		return sr
+	}
+	return &sendReq{}
+}
+
+func (e *Engine) freeSendReq(sr *sendReq) { e.sendFree = append(e.sendFree, sr) }
+
+func (e *Engine) allocPA() *pendingArrival {
+	if n := len(e.paFree); n > 0 {
+		pa := e.paFree[n-1]
+		e.paFree = e.paFree[:n-1]
+		*pa = pendingArrival{}
+		return pa
+	}
+	return &pendingArrival{}
+}
+
+func (e *Engine) freePA(pa *pendingArrival) { e.paFree = append(e.paFree, pa) }
+
+func (e *Engine) allocInflight() *inflight {
+	if n := len(e.inflFree); n > 0 {
+		fl := e.inflFree[n-1]
+		e.inflFree = e.inflFree[:n-1]
+		*fl = inflight{}
+		return fl
+	}
+	return &inflight{}
+}
+
+func (e *Engine) freeInflight(fl *inflight) { e.inflFree = append(e.inflFree, fl) }
+
+// allocMsg draws a zeroed wire message from the free list. Messages are
+// recycled by the receiving nodeRecv as soon as the last packet has been
+// dispatched, which is safe because pendingArrival copies every field the
+// protocol may need later.
+func (e *Engine) allocMsg() *netsim.Message {
+	if n := len(e.msgFree); n > 0 {
+		m := e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+		return m
+	}
+	return &netsim.Message{}
+}
+
+func (e *Engine) freeMsg(m *netsim.Message) {
+	*m = netsim.Message{}
+	e.msgFree = append(e.msgFree, m)
+}
+
 // Run replays the programs to completion and returns the result.
 func (e *Engine) Run() (Result, error) {
 	for _, r := range e.rank {
-		r := r
-		e.C.Eng.Schedule(0, func() { r.step(0) })
+		e.C.Eng.ScheduleCall(0, rankStep, r)
 	}
 	e.C.Eng.Run()
 	var end sim.Time
@@ -231,6 +384,19 @@ func (e *Engine) Run() (Result, error) {
 	return e.Res, nil
 }
 
+// rankStep and rankResume are the pre-bound event entry points (ScheduleCall
+// arguments), replacing the per-event closures of the seed engine.
+
+func rankStep(a any) {
+	r := a.(*rank)
+	r.step(r.eng.C.Eng.Now())
+}
+
+func rankResume(a any) {
+	r := a.(*rank)
+	r.resume(r.eng.C.Eng.Now())
+}
+
 // step advances a rank's program at time now.
 func (r *rank) step(now sim.Time) {
 	for r.pc < len(r.ops) {
@@ -238,12 +404,8 @@ func (r *rank) step(now sim.Time) {
 		switch op.Kind {
 		case OpCompute:
 			r.pc++
-			var nz *noise.Model
-			if r.eng.Cfg.Noise != nil {
-				nz = r.eng.Cfg.Noise(r.id)
-			}
-			end := nz.Inflate(now, op.Dur)
-			r.eng.C.Eng.Schedule(end, func() { r.step(r.eng.C.Eng.Now()) })
+			end := r.nz.Inflate(now, op.Dur)
+			r.eng.C.Eng.ScheduleCall(end, rankStep, r)
 			return
 		case OpIsend:
 			r.pc++
@@ -254,8 +416,7 @@ func (r *rank) step(now sim.Time) {
 		case OpWaitAll:
 			if r.allDone() {
 				r.pc++
-				r.sends = r.sends[:0]
-				r.recvs = r.recvs[:0]
+				r.releaseRequests()
 				continue
 			}
 			// Block in MPI: enable progress, drain queued work.
@@ -269,6 +430,21 @@ func (r *rank) step(now sim.Time) {
 	}
 	r.finished = true
 	r.endTime = now
+}
+
+// releaseRequests recycles the completed wait phase's requests. Every send
+// and receive is done here, so nothing else holds them: completed sendReqs
+// were deleted from rdvPull when their pull arrived, and completed recvReqs
+// were removed from posted (and pullWait) when they matched.
+func (r *rank) releaseRequests() {
+	for _, sr := range r.sends {
+		r.eng.freeSendReq(sr)
+	}
+	for _, rr := range r.recvs {
+		r.eng.freeRecvReq(rr)
+	}
+	r.sends = r.sends[:0]
+	r.recvs = r.recvs[:0]
 }
 
 // resume is called when a completion might unblock a WaitAll.
@@ -297,21 +473,24 @@ func (r *rank) allDone() bool {
 	return true
 }
 
-// drainProgress runs protocol work deferred until MPI entry (baseline).
+// drainProgress services protocol arrivals deferred until MPI entry
+// (baseline). New arrivals during the drain are progressed immediately
+// (inMPI is already true), so the list cannot grow while it is walked.
 func (r *rank) drainProgress(now sim.Time) {
-	work := r.pendingProgress
-	r.pendingProgress = nil
-	for _, fn := range work {
-		fn(now)
+	for i := 0; i < len(r.pendingProgress); i++ {
+		pa := r.pendingProgress[i]
+		r.pendingProgress[i] = nil
+		r.progressArrival(now, pa)
 	}
+	r.pendingProgress = r.pendingProgress[:0]
 }
 
-// enqueueProgress defers fn until the host can progress MPI. In sPIN mode
-// and whenever the host is already inside MPI, it runs immediately.
-func (r *rank) enqueueProgress(now sim.Time, fn func(now sim.Time)) {
-	if r.eng.Cfg.Mode == SpinMatching || r.inMPI {
-		fn(now)
+// enqueueArrival defers servicing pa until the host can progress MPI. When
+// the host is already inside MPI it is serviced immediately.
+func (r *rank) enqueueArrival(now sim.Time, pa *pendingArrival) {
+	if r.inMPI {
+		r.progressArrival(now, pa)
 		return
 	}
-	r.pendingProgress = append(r.pendingProgress, fn)
+	r.pendingProgress = append(r.pendingProgress, pa)
 }

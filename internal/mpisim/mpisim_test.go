@@ -3,6 +3,7 @@ package mpisim
 import (
 	"testing"
 
+	"repro/internal/noise"
 	"repro/internal/sim"
 )
 
@@ -139,6 +140,109 @@ func TestOverheadFractionBounds(t *testing.T) {
 	f := res.OverheadFraction(2)
 	if f <= 0 || f >= 1 {
 		t.Fatalf("overhead fraction %v out of (0,1)", f)
+	}
+}
+
+// TestResetBitIdenticalToFresh is the engine-level golden check behind the
+// replay-reuse contract: an engine that already replayed one program set
+// and was Reset for another must produce a Result identical in every field
+// — including the processed-event count — to a freshly constructed engine
+// replaying the second set. Eager and rendezvous shapes, both protocols.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	progsA := exchange(1024, 10*sim.Microsecond, 5)   // eager
+	progsB := exchange(64*1024, 5*sim.Microsecond, 4) // rendezvous
+	for _, mode := range []MatchMode{HostMatching, SpinMatching} {
+		for _, progs := range [][][]Op{progsA, progsB} {
+			fresh := run(t, mode, progs)
+
+			e, err := New(DefaultConfig(mode), progsA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Reset(progs); err != nil {
+				t.Fatal(err)
+			}
+			reused, err := e.Run()
+			if err != nil {
+				t.Fatalf("%v: reset replay: %v", mode, err)
+			}
+			if reused != fresh {
+				t.Fatalf("%v: reset engine diverged from fresh:\nfresh  %+v\nreused %+v", mode, fresh, reused)
+			}
+		}
+	}
+}
+
+// TestResetRejectsMismatchedRankCount pins that an engine cannot be reset
+// onto a program set of a different size (the cluster is fixed).
+func TestResetRejectsMismatchedRankCount(t *testing.T) {
+	e, err := New(DefaultConfig(SpinMatching), exchange(1024, sim.Microsecond, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reset(make([][]Op, 3)); err == nil {
+		t.Fatal("Reset accepted 3 programs on a 2-rank engine")
+	}
+}
+
+// TestNoiseModelBuiltOncePerRank is the regression test for the double
+// noise-model construction bug: the compute path used to call Cfg.Noise on
+// every OpCompute (building a redundant model mid-replay) in addition to
+// the per-rank call in New. The constructor must now run exactly once per
+// rank, and the simulated output must be identical to handing every call
+// site one shared per-rank model — which is what makes the reuse safe.
+func TestNoiseModelBuiltOncePerRank(t *testing.T) {
+	progs := exchange(1024, 50*sim.Microsecond, 6) // 6 compute phases per rank
+
+	calls := 0
+	cfg := DefaultConfig(HostMatching)
+	cfg.Noise = func(rank int) *noise.Model { calls++; return noise.Typical(rank) }
+	e, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(progs) {
+		t.Fatalf("noise constructor called %d times, want once per rank (%d)", calls, len(progs))
+	}
+
+	// Same replay with explicitly shared models: output must be identical.
+	models := []*noise.Model{noise.Typical(0), noise.Typical(1)}
+	cfg2 := DefaultConfig(HostMatching)
+	cfg2.Noise = func(rank int) *noise.Model { return models[rank] }
+	e2, err := New(cfg2, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Fatalf("per-rank model reuse changed simulated output:\nfresh-models %+v\nshared       %+v", res, res2)
+	}
+
+	// And a Reset replay keeps the models without re-invoking the
+	// constructor.
+	before := calls
+	if err := e.Reset(progs); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != before {
+		t.Fatalf("Reset re-invoked the noise constructor (%d -> %d calls)", before, calls)
+	}
+	if res3 != res {
+		t.Fatalf("noisy reset replay diverged: %+v vs %+v", res3, res)
 	}
 }
 

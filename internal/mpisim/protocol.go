@@ -15,22 +15,27 @@ const nicHandlerDelay = 20 * sim.Nanosecond
 func (r *rank) isend(now sim.Time, op Op) sim.Time {
 	e := r.eng
 	e.Res.Messages++
-	sr := &sendReq{}
+	sr := e.allocSendReq()
 	r.sends = append(r.sends, sr)
 	if op.Size <= e.Cfg.EagerThreshold {
 		sr.done = true
-		m := &netsim.Message{
-			Type: netsim.OpPut, Src: r.id, Dst: op.Peer,
-			MatchBits: op.Tag, Length: op.Size,
-		}
+		m := e.allocMsg()
+		m.Type = netsim.OpPut
+		m.Src = r.id
+		m.Dst = op.Peer
+		m.MatchBits = op.Tag
+		m.Length = op.Size
 		return e.C.HostSend(now, m)
 	}
 	id := e.C.NextID()
 	e.rdvPull[id] = sr
-	rts := &netsim.Message{
-		Type: netsim.OpPut, Src: r.id, Dst: op.Peer,
-		MatchBits: op.Tag, Length: 0, HdrData: id, GetLength: op.Size,
-	}
+	rts := e.allocMsg()
+	rts.Type = netsim.OpPut
+	rts.Src = r.id
+	rts.Dst = op.Peer
+	rts.MatchBits = op.Tag
+	rts.HdrData = id
+	rts.GetLength = op.Size
 	return e.C.HostSend(now, rts)
 }
 
@@ -38,7 +43,10 @@ func (r *rank) isend(now sim.Time, op Op) sim.Time {
 // rendezvous handlers) on the NIC; in host mode it only updates the
 // library's queues. Either way it checks the unexpected queue.
 func (r *rank) irecv(now sim.Time, op Op) sim.Time {
-	rr := &recvReq{peer: op.Peer, tag: op.Tag, size: op.Size}
+	rr := r.eng.allocRecvReq()
+	rr.peer = op.Peer
+	rr.tag = op.Tag
+	rr.size = op.Size
 	r.recvs = append(r.recvs, rr)
 	now = r.cpu.Exec(now, r.eng.Cfg.RecvPostCost)
 	// Search the unexpected queue (the host is in the MPI library now).
@@ -50,7 +58,7 @@ func (r *rank) irecv(now sim.Time, op Op) sim.Time {
 		if pa.rts {
 			// Case IV (Fig. 5b): recv after RTS — the CPU issues the get.
 			t := r.cpu.Exec(maxTime(now, pa.at), r.eng.C.P.O)
-			r.eng.issuePull(t, r, rr, pa)
+			r.eng.issuePull(t, r, rr, pa.src, pa.tag, pa.pullID)
 		} else {
 			// Case III: eager data already in the bounce buffer — copy.
 			t := r.cpu.MatchWalk(maxTime(now, pa.at), len(r.unexpected)+1)
@@ -58,6 +66,7 @@ func (r *rank) irecv(now sim.Time, op Op) sim.Time {
 			r.eng.Res.Copies++
 			r.completeRecv(t, rr)
 		}
+		r.eng.freePA(pa)
 		return now
 	}
 	r.posted = append(r.posted, rr)
@@ -74,7 +83,7 @@ func maxTime(a, b sim.Time) sim.Time {
 // completeRecv finishes a receive at time t.
 func (r *rank) completeRecv(t sim.Time, rr *recvReq) {
 	rr.done = true
-	r.eng.C.Eng.Schedule(t, func() { r.resume(r.eng.C.Eng.Now()) })
+	r.eng.C.Eng.ScheduleCall(t, rankResume, r)
 }
 
 // matchPosted removes and returns the first posted receive matching
@@ -91,13 +100,38 @@ func (r *rank) matchPosted(src int, tag uint64) *recvReq {
 
 // issuePull sends the rendezvous get to the data's source. In sPIN mode
 // the NIC's header handler issues it; in host mode the CPU does.
-func (e *Engine) issuePull(now sim.Time, r *rank, rr *recvReq, pa *pendingArrival) {
-	pull := &netsim.Message{
-		Type: netsim.OpGet, Src: r.id, Dst: pa.src,
-		MatchBits: pa.tag, HdrData: pa.pullID, GetLength: rr.size,
-	}
-	e.pullWait[pa.pullID] = pullDest{r: r, rr: rr}
+func (e *Engine) issuePull(now sim.Time, r *rank, rr *recvReq, src int, tag, pullID uint64) {
+	pull := e.allocMsg()
+	pull.Type = netsim.OpGet
+	pull.Src = r.id
+	pull.Dst = src
+	pull.MatchBits = tag
+	pull.HdrData = pullID
+	pull.GetLength = rr.size
+	e.pullWait[pullID] = pullDest{r: r, rr: rr}
 	e.C.DeviceSend(now, pull)
+}
+
+// progressArrival services one queued arrival once the host can progress
+// MPI: match it against the posted queue, or park it on the unexpected
+// queue. Matched arrivals are recycled here; parked ones when they match a
+// later receive.
+func (r *rank) progressArrival(now sim.Time, pa *pendingArrival) {
+	e := r.eng
+	if rr := r.matchPosted(pa.src, pa.tag); rr != nil {
+		t := r.cpu.MatchWalk(maxTime(now, pa.at), len(r.posted)+1)
+		if pa.rts {
+			t = r.cpu.Exec(t, e.C.P.O)
+			e.issuePull(t, r, rr, pa.src, pa.tag, pa.pullID)
+		} else {
+			t = r.cpu.Copy(t, pa.size)
+			e.Res.Copies++
+			r.completeRecv(t, rr)
+		}
+		e.freePA(pa)
+		return
+	}
+	r.unexpected = append(r.unexpected, pa)
 }
 
 // nodeRecv adapts a rank to netsim.Receiver: it assembles packets into
@@ -113,7 +147,9 @@ func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
 	e := nr.e
 	fl := e.inflight[pkt.Msg]
 	if fl == nil {
-		fl = &inflight{msg: pkt.Msg, total: e.C.P.Packets(pkt.Msg.Length)}
+		fl = e.allocInflight()
+		fl.msg = pkt.Msg
+		fl.total = e.C.P.Packets(pkt.Msg.Length)
 		e.inflight[pkt.Msg] = fl
 	}
 	fl.arrived++
@@ -128,11 +164,18 @@ func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
 	if fl.arrived < fl.total {
 		return
 	}
-	delete(e.inflight, pkt.Msg)
-	nr.dispatch(fl.visible, pkt.Msg)
+	m := pkt.Msg
+	delete(e.inflight, m)
+	visible := fl.visible
+	e.freeInflight(fl)
+	nr.dispatch(visible, m)
+	// The dispatch copied everything it needs (pendingArrival fields,
+	// request pointers), so the wire message can be recycled now.
+	e.freeMsg(m)
 }
 
-// dispatch handles one fully arrived message.
+// dispatch handles one fully arrived message. The message must not be
+// retained: ReceivePacket recycles it when dispatch returns.
 func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 	e, r := nr.e, nr.r
 	switch {
@@ -142,14 +185,16 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 		sr := e.rdvPull[m.HdrData]
 		delete(e.rdvPull, m.HdrData)
 		ready := e.C.Nodes[r.id].Bus.Read(at, m.GetLength)
-		data := &netsim.Message{
-			Type: netsim.OpGetResponse, Src: r.id, Dst: m.Src,
-			Length: m.GetLength, HdrData: m.HdrData,
-		}
+		data := e.allocMsg()
+		data.Type = netsim.OpGetResponse
+		data.Src = r.id
+		data.Dst = m.Src
+		data.Length = m.GetLength
+		data.HdrData = m.HdrData
 		e.C.DeviceSend(ready, data)
 		if sr != nil {
 			sr.done = true
-			e.C.Eng.Schedule(ready, func() { r.resume(e.C.Eng.Now()) })
+			e.C.Eng.ScheduleCall(ready, rankResume, r)
 		}
 	case m.Type == netsim.OpGetResponse:
 		// Rendezvous data landed in the user buffer.
@@ -160,30 +205,29 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 		}
 	case m.GetLength > 0:
 		// RTS for a rendezvous send.
-		pa := &pendingArrival{src: m.Src, tag: m.MatchBits, size: m.GetLength, rts: true, at: at, pullID: m.HdrData}
 		if e.Cfg.Mode == SpinMatching {
 			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
 				// Case II: the header handler issues the get directly
 				// from the NIC — fully asynchronous progress.
-				e.issuePull(at+nicHandlerDelay, r, rr, pa)
+				e.issuePull(at+nicHandlerDelay, r, rr, m.Src, m.MatchBits, m.HdrData)
 				return
 			}
+		}
+		pa := e.allocPA()
+		pa.src = m.Src
+		pa.tag = m.MatchBits
+		pa.size = m.GetLength
+		pa.rts = true
+		pa.at = at
+		pa.pullID = m.HdrData
+		if e.Cfg.Mode == SpinMatching {
 			r.unexpected = append(r.unexpected, pa)
 			return
 		}
 		// Baseline: the CPU must be inside MPI to see the RTS.
-		r.enqueueProgress(at, func(now sim.Time) {
-			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
-				t := r.cpu.MatchWalk(maxTime(now, at), len(r.posted)+1)
-				t = r.cpu.Exec(t, e.C.P.O)
-				e.issuePull(t, r, rr, pa)
-				return
-			}
-			r.unexpected = append(r.unexpected, pa)
-		})
+		r.enqueueArrival(at, pa)
 	default:
 		// Eager data.
-		pa := &pendingArrival{src: m.Src, tag: m.MatchBits, size: m.Length, at: at}
 		if e.Cfg.Mode == SpinMatching {
 			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
 				// Case I: matched in hardware, deposited directly into
@@ -191,20 +235,18 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 				r.completeRecv(at, rr)
 				return
 			}
+		}
+		pa := e.allocPA()
+		pa.src = m.Src
+		pa.tag = m.MatchBits
+		pa.size = m.Length
+		pa.at = at
+		if e.Cfg.Mode == SpinMatching {
 			r.unexpected = append(r.unexpected, pa)
 			return
 		}
 		// Baseline: data sits in the bounce buffer until the CPU is in
 		// MPI, matches it, and copies it out.
-		r.enqueueProgress(at, func(now sim.Time) {
-			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
-				t := r.cpu.MatchWalk(maxTime(now, at), len(r.posted)+1)
-				t = r.cpu.Copy(t, m.Length)
-				e.Res.Copies++
-				r.completeRecv(t, rr)
-				return
-			}
-			r.unexpected = append(r.unexpected, pa)
-		})
+		r.enqueueArrival(at, pa)
 	}
 }

@@ -173,15 +173,28 @@ func NewCluster(n int, p Params) (*Cluster, error) {
 // map-bucket reuse changes only allocation behaviour, never simulated time;
 // no simulation path iterates those maps.
 func (c *Cluster) Reset() {
+	c.ResetCore()
+	for _, n := range c.Nodes {
+		if r, ok := n.Recv.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
+// ResetCore resets the transport itself — engine clock/queue/sequence,
+// every node's egress, matching unit, memory bus and core pool, the
+// recorder, message IDs, and statistics — without cascading into the
+// installed receivers. Systems that keep long-lived protocol setup on their
+// receivers (mpisim's rank machinery, raidsim's portal tables) use it to
+// reuse a cluster across replays while restoring their own receiver state
+// in place; everything Reset says about determinism applies equally here.
+func (c *Cluster) ResetCore() {
 	c.Eng.Reset()
 	for _, n := range c.Nodes {
 		n.Egress.Reset()
 		n.MatchHW.Reset()
 		n.Bus.Reset()
 		n.Cores.Reset()
-		if r, ok := n.Recv.(Resetter); ok {
-			r.Reset()
-		}
 	}
 	c.Rec.Reset()
 	c.nextID = 0

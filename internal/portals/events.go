@@ -98,6 +98,15 @@ func (q *EQ) Append(ev Event) {
 // OnEvent installs the callback invoked for each appended event.
 func (q *EQ) OnEvent(fn func(Event)) { q.handler = fn }
 
+// Reset discards all queued events while retaining the OnEvent handler and
+// the slice's capacity, returning the queue to its post-setup state for
+// system reuse. Handler dispatches already scheduled on the engine are the
+// engine's to drop (sim.Engine.Reset).
+func (q *EQ) Reset() {
+	clear(q.events) // release Err/ME references
+	q.events = q.events[:0]
+}
+
 // Events returns all events appended so far (test/diagnostic use).
 func (q *EQ) Events() []Event { return q.events }
 
@@ -131,6 +140,17 @@ type CT struct {
 
 // NewCT allocates a counter on the engine.
 func NewCT(eng *sim.Engine) *CT { return &CT{eng: eng} }
+
+// Reset returns the counter to its post-construction state: zero counts
+// and no armed triggers. Triggers installed at setup time must be re-armed
+// by their owner after a reset; the reusable systems (raidsim) arm theirs
+// per operation, so for them reset equals reconstruction.
+func (ct *CT) Reset() {
+	ct.count = 0
+	ct.failures = 0
+	clear(ct.triggers)
+	ct.triggers = ct.triggers[:0]
+}
 
 // Get returns the current success count.
 func (ct *CT) Get() uint64 { return ct.count }

@@ -109,6 +109,29 @@ func (ni *NI) MEAppend(ptIndex int, me *ME, list ListKind) error {
 	return nil
 }
 
+// resetState returns an appended entry to its just-appended state for NI
+// reuse (NI.ResetInFlight): relinked, locally-managed offset rewound, HPU
+// memory zeroed and re-seeded from InitialState, and any attached EQ/CT
+// cleared. The host-memory region (Start) is deliberately left as-is:
+// deposits overwrite it per message and no timing depends on its contents,
+// so clearing it would only add wall-clock cost to every reset.
+func (me *ME) resetState() {
+	me.unlinked = false
+	me.localOffset = 0
+	if me.HPUMem != nil && me.HPUMem.Buf != nil {
+		clear(me.HPUMem.Buf)
+		if me.InitialState != nil {
+			copy(me.HPUMem.Buf, me.InitialState)
+		}
+	}
+	if me.EQ != nil {
+		me.EQ.Reset()
+	}
+	if me.CT != nil {
+		me.CT.Reset()
+	}
+}
+
 // MatchExactSource restricts the entry to messages from rank src (call
 // before MEAppend; needed for src == 0 because the zero value is wildcard).
 func (me *ME) MatchExactSource(src int) *ME {

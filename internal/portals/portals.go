@@ -140,6 +140,33 @@ func (ni *NI) Reset() {
 	ni.RT.Reset()
 }
 
+// ResetInFlight returns the interface to an idle state while keeping its
+// installed configuration: portal table entries stay allocated and their
+// MEs stay appended (restored to just-appended state — relinked, locally
+// managed offsets rewound, HPU memory re-initialized, attached EQ/CT
+// cleared), and handler scratchpad allocations survive. Outstanding
+// operations, in-flight receives, streaming channels, and drop counts are
+// cleared, and the sPIN runtime's transient state is reset. Long-lived
+// services (raidsim) use it to replay on one system repeatedly; the
+// determinism contract of netsim.Cluster.Reset applies: an interface reset
+// this way behaves bit-identically in simulated time to one freshly set up.
+func (ni *NI) ResetInFlight() {
+	clear(ni.outstanding)
+	clear(ni.recvStates)
+	clear(ni.channels)
+	ni.Drops = 0
+	for _, pte := range ni.pt {
+		pte.Enabled = true
+		for _, me := range pte.priority {
+			me.resetState()
+		}
+		for _, me := range pte.overflow {
+			me.resetState()
+		}
+	}
+	ni.RT.ResetInFlight()
+}
+
 // Setup creates one NI per node and returns them.
 func Setup(c *netsim.Cluster) []*NI {
 	nis := make([]*NI, len(c.Nodes))

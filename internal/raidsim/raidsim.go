@@ -50,12 +50,11 @@ type System struct {
 	nis  []*portals.NI
 	spin bool
 
-	ackCT      *portals.CT
-	acksSoFar  uint64
-	readEQ     *portals.EQ
-	opDone     sim.Time
-	opExpected uint64 // acks outstanding for the current write
-	readOpen   bool
+	ackCT     *portals.CT
+	acksSoFar uint64
+	readEQ    *portals.EQ
+	opDone    sim.Time
+	readOpen  bool
 
 	// Stats
 	Writes, Reads uint64
@@ -82,6 +81,36 @@ func New(p netsim.Params, spin bool) (*System, error) {
 		}
 	}
 	return s, nil
+}
+
+// Reset returns the system to its post-construction state so one service
+// instance can replay trace after trace instead of being rebuilt per
+// replay: the cluster's transport resets without touching the installed
+// receivers (netsim.Cluster.ResetCore), every NI returns to idle with its
+// portal tables, MEs, and handler scratchpad intact (portals.NI.
+// ResetInFlight — which also rewinds locally-managed offsets, re-zeroes
+// handler state, and clears the per-ME event queues), the client's ack
+// counter and read EQ restart, and the statistics zero.
+//
+// Determinism contract: a reset system replays a trace bit-identically to
+// a freshly built one. Every input to the event order restarts exactly —
+// the host-mode CPUs are stateless (core occupancy lives in the reset core
+// pools), the sPIN-mode handler state re-initializes to its append-time
+// contents, and the ME lists keep their construction order. Free lists and
+// map buckets kept by the resets change allocation behaviour only.
+func (s *System) Reset() {
+	s.C.ResetCore()
+	for _, ni := range s.nis {
+		ni.ResetInFlight()
+	}
+	s.ackCT.Reset()
+	s.readEQ.Reset()
+	s.acksSoFar = 0
+	s.opDone = 0
+	s.readOpen = false
+	s.Writes = 0
+	s.Reads = 0
+	s.BytesMoved = 0
 }
 
 func (s *System) setupClient() error {

@@ -109,6 +109,52 @@ func TestReadsAndWritesMixReplay(t *testing.T) {
 	}
 }
 
+// TestResetBitIdenticalToFresh is the system-level golden check behind the
+// per-trace replay reuse: a system that already replayed one trace and was
+// Reset must replay a second trace with the same total time, operation
+// counts, and processed-event count as a freshly built system — for both
+// protocols on both NIC types.
+func TestResetBitIdenticalToFresh(t *testing.T) {
+	recsA := spctrace.GenFinancial(40, 1)
+	recsB := spctrace.GenWebSearch(40, 2)
+	for _, spin := range []bool{false, true} {
+		for _, p := range []netsim.Params{netsim.Integrated(), netsim.Discrete()} {
+			fresh, err := New(p, spin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Replay(recsB)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sys, err := New(p, spin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Replay(recsA); err != nil {
+				t.Fatal(err)
+			}
+			sys.Reset()
+			got, err := sys.Replay(recsB)
+			if err != nil {
+				t.Fatalf("spin=%v: reset replay: %v", spin, err)
+			}
+			if got != want {
+				t.Fatalf("spin=%v: reset system diverged: %v vs fresh %v", spin, got, want)
+			}
+			if sys.Writes != fresh.Writes || sys.Reads != fresh.Reads || sys.BytesMoved != fresh.BytesMoved {
+				t.Fatalf("spin=%v: stats diverged: %d/%d/%d vs %d/%d/%d", spin,
+					sys.Writes, sys.Reads, sys.BytesMoved, fresh.Writes, fresh.Reads, fresh.BytesMoved)
+			}
+			if sys.C.Eng.Processed() != fresh.C.Eng.Processed() {
+				t.Fatalf("spin=%v: event counts diverged: %d vs %d", spin,
+					sys.C.Eng.Processed(), fresh.C.Eng.Processed())
+			}
+		}
+	}
+}
+
 func TestChunksPartition(t *testing.T) {
 	for _, size := range []int{1, 3, 4, 5, 4096, 4097, 1 << 18} {
 		parts := chunks(size)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// TestAllocBudgets skips under -race: instrumentation adds allocations the
+// budgets do not model.
+const raceEnabled = false

@@ -1,8 +1,16 @@
 #!/bin/sh
-# check.sh — tier-1 verification plus a perf smoke in one command.
-# Usage: scripts/check.sh   (or: make check)
+# check.sh — tier-1 verification plus the merge gates in one command.
+# Usage: scripts/check.sh   (or: make check; CI runs exactly this)
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -14,10 +22,19 @@ echo "== go test =="
 go test ./...
 
 echo "== sweep determinism smoke (fresh vs Reset-reuse vs parallel) =="
-# Byte-equality of fig3b/fig5a/table5c output across the from-scratch,
-# serial-reuse, and sharded-parallel runners: a nondeterministic merge or a
-# state field missed by a Reset fails here before it can corrupt a figure.
+# Byte-equality across the from-scratch, serial-reuse, and sharded-parallel
+# runners for every reuse mechanism: fig3b/fig5a (cluster cache), table5c
+# (mpisim engine cache), spc (raidsim system cache). A nondeterministic
+# merge or a state field missed by a Reset fails here before it can corrupt
+# a figure.
 go test -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
+# Experiment-level concurrency in spinbench must match serial stdout.
+go test -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
+
+echo "== alloc budgets (engine schedule / transport / Table5c) =="
+# Ceilings from BENCH_core.json: 0 allocs per schedule+dispatch, <= 7 per
+# 256-packet message, and the post-replay-reuse Table 5c budget.
+go test -count=1 -run 'TestAllocBudgets' .
 
 echo "== perf smoke (BenchmarkFig3b, 1x) =="
 go test -run='^$' -bench=BenchmarkFig3b -benchtime=1x -benchmem .
