@@ -24,12 +24,19 @@ import (
 //     warm cluster is lower still.
 //   - table5cBudget: one Table 5c regeneration at benchScale. PR 2
 //     measured 6,539,299 allocs; the PR-3 replay-engine reuse brings it to
-//     ~439k. The budget admits drift to 800k — any return toward the
-//     per-replay-engine regime (a 4x regression gate relative to pr2).
+//     ~439k. The budget admits drift to 600k — any return toward the
+//     per-replay-engine regime fails the gate.
+//   - spcBudget: one full SPC trace-study regeneration (five traces, both
+//     NIC types, both protocols). PR 3 measured ~155k allocs, dominated by
+//     per-request portals work; the PR-4 portals-layer pooling (message
+//     free list, pooled pendingOps/contexts, closure-free EQ/CT dispatch)
+//     brings it to ~2.9k. The 15k budget is a 10x regression gate that
+//     still sits 10x below the pre-pooling regime.
 const (
 	engineScheduleBudget   = 0
 	clusterSendLargeBudget = 7
-	table5cBudget          = 800_000
+	table5cBudget          = 600_000
+	spcBudget              = 15_000
 )
 
 func TestAllocBudgets(t *testing.T) {
@@ -84,6 +91,20 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if got := res.AllocsPerOp(); got > table5cBudget {
 			t.Errorf("Table5c regeneration = %d allocs/op, budget %d", got, table5cBudget)
+		}
+	})
+
+	t.Run("SPC", func(t *testing.T) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.SPCTraces(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if got := res.AllocsPerOp(); got > spcBudget {
+			t.Errorf("SPC regeneration = %d allocs/op, budget %d", got, spcBudget)
 		}
 	})
 }

@@ -86,9 +86,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if workers <= 1 || len(sel) == 1 {
 		// Serial: run and flush experiment by experiment (streaming), which
 		// produces the reference byte stream the concurrent path matches.
+		// A single selected experiment still gets a budget so its sweep
+		// workers are bounded like any other run.
+		var budget *bench.Budget
+		if workers > 1 {
+			budget = bench.NewBudget(workers)
+		}
 		for _, e := range sel {
 			var o expOutput
-			runExperiment(e, *scale, *parallel, *csv, *wall, &o)
+			runExperiment(e, *scale, *parallel, budget, *csv, *wall, &o)
 			if flushExperiment(e, &o, stdout, stderr) != 0 {
 				return 1
 			}
@@ -101,9 +107,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// byte stream regardless of completion order. Note -wall alloc counts
 	// include concurrently running experiments in this mode
 	// (runtime.MemStats is process-global).
+	//
+	// Both parallelism levels draw on ONE shared budget of N slots: the
+	// experiment goroutines only orchestrate (build sweeps, render tables),
+	// while every simulation point — regardless of which experiment's sweep
+	// it belongs to — must hold a budget slot to execute. Without this the
+	// levels compose multiplicatively to up to N^2 concurrently executing
+	// engines on very wide runs.
 	if workers > len(sel) {
 		workers = len(sel)
 	}
+	budget := bench.NewBudget(*parallel)
 	outs := make([]expOutput, len(sel))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -111,7 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := w; i < len(sel); i += workers {
-				runExperiment(sel[i], *scale, *parallel, *csv, *wall, &outs[i])
+				runExperiment(sel[i], *scale, *parallel, budget, *csv, *wall, &outs[i])
 				if outs[i].err != nil {
 					return
 				}
@@ -153,14 +167,16 @@ type expOutput struct {
 	err  error
 }
 
-// runExperiment builds and runs one experiment, rendering into o.
-func runExperiment(e bench.Experiment, scale, parallel int, csv, wall bool, o *expOutput) {
+// runExperiment builds and runs one experiment, rendering into o. Its
+// sweep draws execution slots from budget (nil = unbounded), which is
+// shared across concurrently running experiments.
+func runExperiment(e bench.Experiment, scale, parallel int, budget *bench.Budget, csv, wall bool, o *expOutput) {
 	t0 := time.Now()
 	var m0 runtime.MemStats
 	if wall {
 		runtime.ReadMemStats(&m0)
 	}
-	tab, err := e.Build(scale).Run(parallel)
+	tab, err := e.Build(scale).RunBudget(parallel, budget)
 	if err != nil {
 		o.err = err
 		return

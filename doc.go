@@ -5,9 +5,11 @@
 //
 // The public API lives in package repro/spin; the evaluation harness that
 // regenerates every table and figure of the paper is bench_test.go in this
-// directory plus cmd/spinbench. See README.md for a tour, DESIGN.md for the
-// system inventory and per-experiment index, and EXPERIMENTS.md for
-// paper-versus-measured results.
+// directory plus cmd/spinbench. See README.md for a tour, ARCHITECTURE.md
+// for the layer stack, the determinism contract, and the pooling ownership
+// rules (normative — every reuse and concurrency feature is written against
+// them), DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results.
 //
 // # Performance model
 //
@@ -59,6 +61,18 @@
 //     caches both, which took a Table 5c regeneration from 6.54M to 439k
 //     allocations (14.9x). Reset == fresh is pinned bit-exactly by
 //     engine-, system-, and sweep-level golden tests.
+//   - Portals-layer pooling. The per-request protocol path allocates
+//     nothing in steady state: wire messages come from a cluster-owned free
+//     list (netsim.Cluster.AllocMessage) and are recycled by the transport
+//     itself after the last packet's dispatch; payload staging reuses a
+//     message-owned grow-only buffer (Message.StageData); pendingOps,
+//     handler contexts (with a Ctx.Scratch arena), EQ dispatches, and CT
+//     triggers are pooled; and the remaining hot-path closures were
+//     replaced by pre-bound callback+arg pairs (Message.Delivered,
+//     CT.OnReachCall) in the style of ScheduleCall. The SPC trace study —
+//     pure per-request protocol work — dropped from ~155k to ~2.9k
+//     allocations (54x). The retention rules that make transport-owned
+//     recycling safe are normative in ARCHITECTURE.md.
 //   - Parallel sweeps. The engine stays single-threaded by design, so
 //     bench.Sweep parallelizes across measurement points instead: point i
 //     runs on worker i mod W (each worker owns its Env, engines, and
@@ -67,7 +81,10 @@
 //     runs independent experiments concurrently with per-experiment output
 //     buffering, preserving the serial byte stream — both levels pinned by
 //     golden tests that `make check` runs, and exposed as
-//     `spinbench -parallel`.
+//     `spinbench -parallel`. The two levels share one bench.Budget of N
+//     execution slots, so they bound to N concurrently executing points
+//     instead of composing to N^2; the budget throttles execution without
+//     touching assignment or order, so output bytes are unaffected.
 //
 // BENCH_core.json records the measured trajectory (with the enforced
 // allocation budgets); scripts/check.sh (or `make check`) runs tier-1 plus

@@ -1,4 +1,5 @@
-// Broadcast: a NIC-resident binomial-tree collective (§4.4.3).
+// Broadcast: a NIC-resident binomial-tree collective (§4.4.3) — the
+// system Figure 5a measures (binomial broadcast latency, discrete NIC).
 //
 // Thirty-two ranks participate in a broadcast whose forwarding runs
 // entirely on the NICs: every arriving packet is relayed down the binomial

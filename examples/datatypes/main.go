@@ -1,4 +1,5 @@
-// Datatypes: receive a halo face directly into its strided location (§5.2).
+// Datatypes: receive a halo face directly into its strided location
+// (§5.2) — the system Figure 7a measures (strided-receive bandwidth).
 //
 // A 3-D stencil application receives a 2-D face that is non-contiguous in
 // memory. With sPIN, the NIC's datatype handlers scatter each packet into

@@ -1,4 +1,6 @@
-// Quickstart: install a custom sPIN handler and watch it process packets.
+// Quickstart: install a custom sPIN handler and watch it process
+// packets — the programming model of §3.2 / Figure 2 (header, payload,
+// and completion handlers on the NIC) in its smallest runnable form.
 //
 // A two-node system is built; rank 1 installs a payload handler that
 // uppercases ASCII bytes on the NIC as packets stream through, depositing

@@ -1,5 +1,6 @@
 // RAID: a distributed storage server whose replication protocol runs on
-// the NICs (§5.3).
+// the NICs (§5.3) — the system of Figure 7b, measured in Figure 7c and
+// the SPC trace study.
 //
 // One client writes blocks striped over four data servers; each server's
 // NIC computes the parity diff (old XOR new), stores the new block,

@@ -197,6 +197,46 @@ func (e *Env) hostMem(n int) []byte {
 	return e.scratch[:n]
 }
 
+// Budget is a shared bound on the number of simulation points executing at
+// once across every sweep that draws from it. spinbench's two parallelism
+// levels — concurrent experiments and sharded sweep points — compose
+// multiplicatively (W experiments x W workers), so without a shared budget
+// a wide run oversubscribes the machine with up to W^2 active engines. A
+// Budget of W keeps the deterministic point->worker assignment (which is
+// what output order is defined by) while capping actual execution at W
+// points machine-wide; waiting workers block, they don't spin.
+//
+// A nil *Budget disables the bound. Budgets are safe for concurrent use —
+// the semaphore is the only state — and must be acquired only around leaf
+// work (a measurement point), never while waiting on other budget holders,
+// which is what keeps the two-level composition deadlock-free.
+type Budget struct {
+	sem chan struct{}
+}
+
+// NewBudget returns a budget admitting n concurrently executing points;
+// n <= 0 uses GOMAXPROCS.
+func NewBudget(n int) *Budget {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Budget{sem: make(chan struct{}, n)}
+}
+
+// acquire blocks until an execution slot is free. Nil-safe.
+func (b *Budget) acquire() {
+	if b != nil {
+		b.sem <- struct{}{}
+	}
+}
+
+// release returns a slot. Nil-safe.
+func (b *Budget) release() {
+	if b != nil {
+		<-b.sem
+	}
+}
+
 // Sweep is a deterministic parallel sweep runner: an experiment registers
 // its measurement points in output order, and Run executes them either
 // serially on one Env or sharded across worker goroutines — one Env (and
@@ -239,7 +279,17 @@ func (s *Sweep) Row(fn func(e *Env) ([]string, error)) {
 // error never hides an earlier one. Successful output is byte-identical
 // across all worker counts.
 func (s *Sweep) Run(workers int) (*Table, error) {
-	return s.run(workers, false)
+	return s.run(workers, false, nil)
+}
+
+// RunBudget is Run with a shared execution budget: each point acquires a
+// slot for the duration of its simulation, so several sweeps running
+// concurrently (spinbench's experiment level) are bounded together instead
+// of multiplying their worker counts. Point assignment, row order, and
+// output bytes are identical to Run — the budget throttles execution, never
+// reorders it.
+func (s *Sweep) RunBudget(workers int, b *Budget) (*Table, error) {
+	return s.run(workers, false, b)
 }
 
 // RunFresh executes serially with cluster reuse disabled: every point
@@ -247,10 +297,10 @@ func (s *Sweep) Run(workers int) (*Table, error) {
 // helpers do. It exists so tests can pin Run's reuse path against the
 // from-scratch baseline.
 func (s *Sweep) RunFresh() (*Table, error) {
-	return s.run(1, true)
+	return s.run(1, true, nil)
 }
 
-func (s *Sweep) run(workers int, fresh bool) (*Table, error) {
+func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -265,7 +315,9 @@ func (s *Sweep) run(workers int, fresh bool) (*Table, error) {
 			e = NewEnv()
 		}
 		for i, fn := range s.points {
+			b.acquire()
 			rows[i], errs[i] = fn(e)
+			b.release()
 			if errs[i] != nil {
 				break
 			}
@@ -278,7 +330,9 @@ func (s *Sweep) run(workers int, fresh bool) (*Table, error) {
 				defer wg.Done()
 				e := NewEnv()
 				for i := w; i < len(s.points); i += workers {
+					b.acquire()
 					rows[i], errs[i] = s.points[i](e)
+					b.release()
 					if errs[i] != nil {
 						return
 					}

@@ -55,6 +55,10 @@ type Ctx struct {
 	cycles int64
 	err    error
 
+	// scratchOff is this invocation's high-water mark in the runtime's
+	// grow-only scratch arena (see Scratch).
+	scratchOff int
+
 	// lastVisible tracks when this invocation's DMA writes become
 	// globally visible, for completion-event ordering.
 	lastVisible sim.Time
@@ -122,6 +126,26 @@ func (c *Ctx) ChargePerByteMilli(n int, milliCyclesPerByte int64) {
 // The runtime models massively-threaded HPUs implicitly, so this only
 // charges its instruction cost.
 func (c *Ctx) Yield() { c.Charge(CostYield) }
+
+// Scratch returns an n-byte zeroed staging buffer valid until this handler
+// invocation returns. Buffers come from a grow-only per-runtime arena, so
+// steady-state handler staging (e.g. the RAID XOR diff buffers) allocates
+// nothing. The buffer models HPU-local working memory and must not be
+// retained past the handler — the next invocation reuses the region.
+func (c *Ctx) Scratch(n int) []byte {
+	need := c.scratchOff + n
+	if cap(c.rt.scratch) < need {
+		grow := 2 * cap(c.rt.scratch)
+		if grow < need {
+			grow = need
+		}
+		c.rt.scratch = make([]byte, grow)
+	}
+	s := c.rt.scratch[c.scratchOff:need:need]
+	c.scratchOff = need
+	clear(s)
+	return s
+}
 
 // fail records the first action error.
 func (c *Ctx) fail(err error) {
@@ -328,19 +352,16 @@ func (c *Ctx) PutFromDevice(data []byte, target, ptIndex int, matchBits uint64, 
 		c.fail(err)
 		return err
 	}
-	payload := make([]byte, len(data))
-	copy(payload, data)
-	m := &netsim.Message{
-		Type:      netsim.OpPut,
-		Src:       c.rt.Node.Rank,
-		Dst:       target,
-		PTIndex:   ptIndex,
-		MatchBits: matchBits,
-		Offset:    remoteOffset,
-		HdrData:   hdrData,
-		Length:    len(payload),
-		Data:      payload,
-	}
+	m := c.rt.C.AllocMessage()
+	m.Type = netsim.OpPut
+	m.Src = c.rt.Node.Rank
+	m.Dst = target
+	m.PTIndex = ptIndex
+	m.MatchBits = matchBits
+	m.Offset = remoteOffset
+	m.HdrData = hdrData
+	m.Length = len(data)
+	copy(m.StageData(len(data)), data)
 	c.rt.C.Send(c.now, m)
 	if free := c.rt.Node.Egress.FreeAt(); free > c.now {
 		c.now = free
@@ -360,19 +381,16 @@ func (c *Ctx) PutFromHost(space MemSpace, offset int64, length int, target, ptIn
 	if !c.checkRange(buf, offset, length, "PutFromHost") {
 		return c.err
 	}
-	payload := make([]byte, length)
-	copy(payload, buf[offset:])
-	m := &netsim.Message{
-		Type:      netsim.OpPut,
-		Src:       c.rt.Node.Rank,
-		Dst:       target,
-		PTIndex:   ptIndex,
-		MatchBits: matchBits,
-		Offset:    remoteOffset,
-		HdrData:   hdrData,
-		Length:    length,
-		Data:      payload,
-	}
+	m := c.rt.C.AllocMessage()
+	m.Type = netsim.OpPut
+	m.Src = c.rt.Node.Rank
+	m.Dst = target
+	m.PTIndex = ptIndex
+	m.MatchBits = matchBits
+	m.Offset = remoteOffset
+	m.HdrData = hdrData
+	m.Length = length
+	copy(m.StageData(length), buf[offset:])
 	c.rt.C.DeviceSend(c.now, m)
 	return nil
 }

@@ -13,10 +13,7 @@
 // exactly as in the paper's gem5+LogGOPSim co-simulation.
 package core
 
-import (
-	"repro/internal/netsim"
-	"repro/internal/sim"
-)
+import "repro/internal/sim"
 
 // HeaderRC is a header handler's return code (Appendix B.3).
 type HeaderRC int
@@ -142,10 +139,22 @@ type HPUMem struct {
 }
 
 // MessageResult summarizes one processed message for the layer above
-// (Portals: event queues and counters).
+// (Portals: event queues and counters). It carries copies of the message
+// header fields rather than the *netsim.Message itself: results are
+// delivered after the last packet has been dispatched, at which point the
+// transport may already have recycled a pooled message.
 type MessageResult struct {
-	// Msg identifies the processed message.
-	Msg *netsim.Message
+	// MsgID is the processed message's wire ID (ack correlation).
+	MsgID uint64
+	// Source, MatchBits, HdrData, Length, and Offset are the header fields
+	// of the processed message, copied at completion time.
+	Source    int
+	MatchBits uint64
+	HdrData   uint64
+	Length    int
+	Offset    int64
+	// AckReq reports whether the initiator asked for an acknowledgment.
+	AckReq bool
 	// End is when processing finished (completion handler returned, or
 	// last deposit became visible in host memory).
 	End sim.Time

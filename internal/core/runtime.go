@@ -30,8 +30,13 @@ type MEContext struct {
 	IssueGet func(now sim.Time, req GetRequest)
 }
 
-// msgState tracks one in-flight message on the NIC.
+// msgState tracks one in-flight message on the NIC. After the last packet
+// it doubles as the deferred-completion carrier: the message's header
+// fields are copied into res and the msg pointer dropped, so the transport
+// can recycle the wire message at dispatch while the OnComplete event is
+// still in flight.
 type msgState struct {
+	rt    *Runtime
 	me    *MEContext
 	msg   *netsim.Message
 	total int
@@ -46,6 +51,17 @@ type msgState struct {
 	pending      bool
 	err          error
 	completed    bool
+	res          MessageResult
+}
+
+// runOnComplete is the ScheduleCall entry point that delivers a message's
+// result to the upper layer; the state is recycled first, because the
+// callback may start processing new messages.
+func runOnComplete(a any) {
+	ms := a.(*msgState)
+	rt, done, res := ms.rt, ms.me.OnComplete, ms.res
+	rt.freeMsgState(ms)
+	done(rt.C.Eng.Now(), res)
 }
 
 // Runtime is the per-NIC sPIN runtime: it owns the HPU contexts and HPU
@@ -68,9 +84,14 @@ type Runtime struct {
 	hpuMemUsed     int
 
 	msgs map[*netsim.Message]*msgState
-	// msFree recycles msgState objects; engine-owned (not sync.Pool) so
-	// reuse order is deterministic.
-	msFree []*msgState
+	// msFree and ctxFree recycle msgState and handler-context objects;
+	// engine-owned (not sync.Pool) so reuse order is deterministic.
+	msFree  []*msgState
+	ctxFree []*Ctx
+	// scratch is the grow-only arena behind Ctx.Scratch: handler staging
+	// buffers valid for one invocation, so one region serves every handler
+	// on the NIC without per-invocation allocation.
+	scratch []byte
 	// hpuLanes interns the per-context timeline lane names so recording a
 	// handler span never formats.
 	hpuLanes []string
@@ -151,10 +172,10 @@ func (rt *Runtime) allocMsgState() *msgState {
 	if n := len(rt.msFree); n > 0 {
 		ms := rt.msFree[n-1]
 		rt.msFree = rt.msFree[:n-1]
-		*ms = msgState{}
+		*ms = msgState{rt: rt}
 		return ms
 	}
-	return &msgState{}
+	return &msgState{rt: rt}
 }
 
 // freeMsgState recycles a completed message's state.
@@ -214,9 +235,20 @@ func (rt *Runtime) Deliver(now sim.Time, pkt *netsim.Packet, me *MEContext) {
 	rt.maybeComplete(ms)
 }
 
-// newCtx builds a handler context starting at time start on HPU hpu.
+// newCtx draws a handler context from the free list, starting at time start
+// on HPU hpu. Contexts live for exactly one handler invocation — finishCtx
+// recycles them — so handlers must not retain *Ctx (or Scratch buffers)
+// past their return.
 func (rt *Runtime) newCtx(start sim.Time, hpu int, ms *msgState) *Ctx {
-	return &Ctx{rt: rt, me: ms.me, msg: ms.msg, now: start, start: start, hpu: hpu}
+	var c *Ctx
+	if n := len(rt.ctxFree); n > 0 {
+		c = rt.ctxFree[n-1]
+		rt.ctxFree = rt.ctxFree[:n-1]
+	} else {
+		c = &Ctx{}
+	}
+	*c = Ctx{rt: rt, me: ms.me, msg: ms.msg, now: start, start: start, hpu: hpu}
+	return c
 }
 
 // finishCtx closes a handler invocation: charges the epilogue, extends the
@@ -238,7 +270,10 @@ func (rt *Runtime) finishCtx(c *Ctx, ms *msgState, kind string) sim.Time {
 	if c.lastVisible > ms.lastEnd {
 		ms.lastEnd = c.lastVisible
 	}
-	return c.now
+	end := c.now
+	*c = Ctx{}
+	rt.ctxFree = append(rt.ctxFree, c)
+	return end
 }
 
 func (rt *Runtime) runHeader(now sim.Time, pkt *netsim.Packet, ms *msgState) {
@@ -402,16 +437,28 @@ func (rt *Runtime) maybeComplete(ms *msgState) {
 		}
 	}
 	if ms.me.OnComplete != nil {
-		res := MessageResult{
-			Msg:          ms.msg,
+		// Copy the header fields out of the wire message: the result is
+		// delivered by a deferred event, and the transport recycles pooled
+		// messages as soon as this (final) dispatch returns. The msgState
+		// itself carries the result to the event — it is recycled when the
+		// event fires instead of here.
+		ms.res = MessageResult{
+			MsgID:        ms.msg.ID,
+			Source:       ms.msg.Src,
+			MatchBits:    ms.msg.MatchBits,
+			HdrData:      ms.msg.HdrData,
+			Length:       ms.msg.Length,
+			Offset:       ms.msg.Offset,
+			AckReq:       ms.msg.AckReq,
 			End:          end,
 			DroppedBytes: ms.dropped,
 			FlowControl:  ms.flowCtl,
 			Pending:      ms.pending,
 			Err:          ms.err,
 		}
-		done := ms.me.OnComplete
-		rt.C.Eng.Schedule(end, func() { done(rt.C.Eng.Now(), res) })
+		ms.msg = nil
+		rt.C.Eng.ScheduleCall(end, runOnComplete, ms)
+		return
 	}
 	rt.freeMsgState(ms)
 }

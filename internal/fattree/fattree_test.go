@@ -129,3 +129,22 @@ func TestLatencyMonotoneInDistance(t *testing.T) {
 		t.Fatalf("latencies not monotone: %v %v %v", sameEdge, samePod, interPod)
 	}
 }
+
+// BenchmarkFattreeLatency measures the per-packet topology lookup — the
+// L term computed for every message Send, and (with replay setup costs
+// pooled away) one of the remaining hot-path scans. Distances cycle
+// through same-edge, same-pod, and inter-pod so the benchmark reflects the
+// branchy mix a real sweep sees; baselines are recorded in the README's
+// "Performance" section.
+func BenchmarkFattreeLatency(b *testing.B) {
+	ft := Default()
+	peers := [3]int{1, 18, 324} // same edge, same pod, different pod
+	var sink sim.Time
+	for i := 0; i < b.N; i++ {
+		sink += ft.Latency(0, peers[i%3])
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination of the benchmark loop.
+var benchSink sim.Time

@@ -46,7 +46,7 @@ func RaidPrimaryWrite(cfg RaidPrimaryConfig) core.HandlerSet {
 			base := int64(c.U64(raidOffset))
 			client := c.U64(raidSource)
 			parity := int(c.U64(raidParity))
-			buf := make([]byte, p.Size)
+			buf := c.Scratch(p.Size)
 			c.DMAFromHostB(base+int64(p.Offset), buf, core.MEHostMem)
 			if p.Data != nil {
 				xorInto(buf, p.Data) // diff = old ^ new
@@ -122,7 +122,7 @@ func RaidParityUpdate(cfg RaidParityConfig) core.HandlerSet {
 		},
 		Payload: func(c *core.Ctx, p core.Payload) core.PayloadRC {
 			base := int64(c.U64(raidOffset))
-			buf := make([]byte, p.Size)
+			buf := c.Scratch(p.Size)
 			c.DMAFromHostB(base+int64(p.Offset), buf, core.MEHostMem)
 			if p.Data != nil {
 				xorInto(buf, p.Data) // p' = p ^ diff

@@ -113,3 +113,28 @@ func TestNoiseInflatesExec(t *testing.T) {
 		t.Fatalf("noise did not inflate: %v vs %v", noisy, quiet)
 	}
 }
+
+// BenchmarkMatchQueueWalk measures the host-side matching walk — the CPU
+// probing an n-entry unexpected/posted queue on every completion, which
+// dominates the RDMA baselines' protocol cost at scale (§5.1) and is one
+// of the remaining hot-path scans now that replay setup is pooled away.
+// The walk length mirrors Table 5c's deep-queue regime; baselines are
+// recorded in the README's "Performance" section.
+func BenchmarkMatchQueueWalk(b *testing.B) {
+	c, err := netsim.NewCluster(2, netsim.Integrated())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu := New(c, 1, nil)
+	const queueLen = 64
+	var now sim.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = cpu.MatchWalk(now, queueLen)
+	}
+	walkSink = now
+}
+
+// walkSink defeats dead-code elimination of the benchmark loop.
+var walkSink sim.Time

@@ -198,12 +198,13 @@ type Engine struct {
 	// Engine-owned free lists for per-message protocol state (deliberately
 	// not sync.Pool: the engine is single-threaded and reuse order must be
 	// deterministic for bit-reproducible replays). Objects are zeroed when
-	// drawn, so recycling changes allocation behaviour only.
+	// drawn, so recycling changes allocation behaviour only. Wire messages
+	// come from the cluster's own free list (netsim.Cluster.AllocMessage)
+	// and are recycled by the transport at last-packet dispatch.
 	recvFree []*recvReq
 	sendFree []*sendReq
 	paFree   []*pendingArrival
 	inflFree []*inflight
-	msgFree  []*netsim.Message
 
 	Res Result
 }
@@ -345,22 +346,12 @@ func (e *Engine) allocInflight() *inflight {
 
 func (e *Engine) freeInflight(fl *inflight) { e.inflFree = append(e.inflFree, fl) }
 
-// allocMsg draws a zeroed wire message from the free list. Messages are
-// recycled by the receiving nodeRecv as soon as the last packet has been
-// dispatched, which is safe because pendingArrival copies every field the
-// protocol may need later.
+// allocMsg draws a zeroed wire message from the cluster's free list. The
+// transport recycles it as soon as the last packet has been dispatched,
+// which is safe because pendingArrival copies every field the protocol may
+// need later.
 func (e *Engine) allocMsg() *netsim.Message {
-	if n := len(e.msgFree); n > 0 {
-		m := e.msgFree[n-1]
-		e.msgFree = e.msgFree[:n-1]
-		return m
-	}
-	return &netsim.Message{}
-}
-
-func (e *Engine) freeMsg(m *netsim.Message) {
-	*m = netsim.Message{}
-	e.msgFree = append(e.msgFree, m)
+	return e.C.AllocMessage()
 }
 
 // Run replays the programs to completion and returns the result.

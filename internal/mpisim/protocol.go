@@ -170,8 +170,8 @@ func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
 	e.freeInflight(fl)
 	nr.dispatch(visible, m)
 	// The dispatch copied everything it needs (pendingArrival fields,
-	// request pointers), so the wire message can be recycled now.
-	e.freeMsg(m)
+	// request pointers); the transport recycles the wire message when this
+	// final dispatch returns.
 }
 
 // dispatch handles one fully arrived message. The message must not be

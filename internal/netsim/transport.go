@@ -63,8 +63,40 @@ type Message struct {
 	ReplyTo uint64
 
 	// OnDelivered, if set, runs at the source when the last packet has
-	// been injected (send-side completion, e.g. MD events).
+	// been injected (send-side completion, e.g. MD events). Hot paths use
+	// the pre-bound Delivered/DeliveredArg pair instead, which schedules
+	// without allocating a closure; when both are set only Delivered runs.
 	OnDelivered func(now sim.Time)
+
+	// Delivered is the closure-free form of OnDelivered, in the style of
+	// sim.Engine.ScheduleCall: at send-side completion the transport invokes
+	// Delivered(DeliveredArg, now) through a dispatcher pre-bound at cluster
+	// construction. The callback must not retain the message.
+	Delivered    func(arg any, now sim.Time)
+	DeliveredArg any
+
+	// buf is the message-owned payload staging buffer (see StageData).
+	// Pooled messages keep its capacity across recycling, so steady-state
+	// payload staging allocates nothing.
+	buf []byte
+	// pooled marks messages drawn from Cluster.AllocMessage: the transport
+	// recycles them automatically after their last packet has been
+	// dispatched to the receiver.
+	pooled bool
+}
+
+// StageData returns an n-byte payload buffer owned by the message and
+// installs it as the message's Data. The buffer is grow-only scratch: its
+// contents are unspecified, so callers must overwrite all n bytes. For
+// pooled messages the capacity survives recycling, which is what makes
+// payload staging on the hot path allocation-free in steady state.
+func (m *Message) StageData(n int) []byte {
+	if cap(m.buf) < n || m.buf == nil {
+		m.buf = make([]byte, n) // non-nil even for n == 0: staged Data is
+		// never nil, matching the timing-only (NoData) distinction.
+	}
+	m.Data = m.buf[:n:n]
+	return m.Data
 }
 
 // Packet is one MTU-sized piece of a message.
@@ -123,11 +155,17 @@ type Cluster struct {
 	Rec    *timeline.Recorder // optional; nil disables recording
 	nextID uint64
 
-	// pktFree and walkFree are engine-owned free lists (deliberately not
-	// sync.Pool: the engine is single-threaded and reuse order must be
-	// deterministic for bit-reproducible runs).
+	// pktFree, walkFree, and msgFree are engine-owned free lists
+	// (deliberately not sync.Pool: the engine is single-threaded and reuse
+	// order must be deterministic for bit-reproducible runs).
 	pktFree  []*Packet
 	walkFree []*msgWalk
+	msgFree  []*Message
+
+	// deliveredCall is the pre-bound dispatcher for Message.Delivered,
+	// built once at construction so send-side completion schedules via
+	// ScheduleCall without a per-message closure.
+	deliveredCall func(any)
 
 	// Stats
 	MessagesSent uint64
@@ -141,6 +179,7 @@ func NewCluster(n int, p Params) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{Eng: sim.NewEngine(), P: p}
+	c.deliveredCall = c.runDelivered
 	c.Nodes = make([]*Node, n)
 	for i := range c.Nodes {
 		c.Nodes[i] = &Node{
@@ -162,9 +201,9 @@ func NewCluster(n int, p Params) (*Cluster, error) {
 // receivers that implement Resetter (the Portals NI and, through it, the
 // sPIN runtime) are reset; the attached timeline recorder (if any) is
 // cleared; and message IDs and statistics restart. The engine-owned free
-// lists (packets, walks) are deliberately retained — that is the point of
-// reuse — and cannot leak stale state because every pooled object is fully
-// reinitialized on allocation.
+// lists (packets, walks, messages) are deliberately retained — that is the
+// point of reuse — and cannot leak stale state because every pooled object
+// is fully reinitialized on allocation or recycling.
 //
 // Determinism contract: a reset cluster produces bit-identical simulated
 // times to a freshly constructed one, because every input to the event
@@ -243,6 +282,45 @@ func (c *Cluster) freeWalk(w *msgWalk) {
 	c.walkFree = append(c.walkFree, w)
 }
 
+// AllocMessage draws a zeroed wire message from the cluster's engine-owned
+// free list. Pooled messages are recycled by the transport itself as soon as
+// their last packet has been dispatched to the destination's Receiver — so a
+// receiver (and every layer above it) must copy anything it needs past that
+// dispatch and must never hold a pooled *Message across events. See
+// ARCHITECTURE.md "Pooling ownership rules" for the full contract.
+//
+// Messages built as plain literals (&Message{...}) remain valid and are
+// never recycled; pooling is opt-in by allocation site.
+func (c *Cluster) AllocMessage() *Message {
+	if n := len(c.msgFree); n > 0 {
+		m := c.msgFree[n-1]
+		c.msgFree = c.msgFree[:n-1]
+		return m
+	}
+	return &Message{pooled: true}
+}
+
+// PooledMessages reports how many messages sit in the free list right now
+// (test/diagnostic use: retention tests assert the pool returns to its
+// idle size, proving no path leaks or double-holds a pooled message).
+func (c *Cluster) PooledMessages() int { return len(c.msgFree) }
+
+// recycleMessage zeroes a pooled message and returns it to the free list,
+// keeping the staging buffer's capacity for the next StageData.
+func (c *Cluster) recycleMessage(m *Message) {
+	buf := m.buf
+	*m = Message{}
+	m.buf = buf[:0]
+	m.pooled = true
+	c.msgFree = append(c.msgFree, m)
+}
+
+// runDelivered is the ScheduleCall dispatcher behind Message.Delivered.
+func (c *Cluster) runDelivered(a any) {
+	m := a.(*Message)
+	m.Delivered(m.DeliveredArg, c.Eng.Now())
+}
+
 func (c *Cluster) allocPacket() *Packet {
 	if n := len(c.pktFree); n > 0 {
 		p := c.pktFree[n-1]
@@ -310,7 +388,9 @@ func (c *Cluster) Send(ready sim.Time, msg *Message) {
 	*w = msgWalk{c: c, dst: dst, msg: msg, length: msg.Length, n: n,
 		seq0: c.Eng.ReserveSeq(n), arr: firstArrival, occFull: occFull, occLast: occLast}
 	c.Eng.ScheduleCallSeq(firstArrival, w.seq0, walkDeliver, w)
-	if msg.OnDelivered != nil {
+	if msg.Delivered != nil {
+		c.Eng.ScheduleCall(lastInjected, c.deliveredCall, msg)
+	} else if msg.OnDelivered != nil {
 		done := msg.OnDelivered
 		c.Eng.Schedule(lastInjected, func() { done(c.Eng.Now()) })
 	}
@@ -370,7 +450,13 @@ func (n *Node) receive(pkt *Packet) {
 		c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index))
 	}
 	if n.Recv == nil {
-		c.freePacket(pkt) // no consumer installed; packet vanishes (tests only)
+		// No consumer installed; the packet vanishes (tests only). A pooled
+		// message is still done once its last packet would have dispatched.
+		last, msg := pkt.Last, pkt.Msg
+		c.freePacket(pkt)
+		if last && msg.pooled {
+			c.recycleMessage(msg)
+		}
 		return
 	}
 	pkt.node = n
@@ -378,13 +464,22 @@ func (n *Node) receive(pkt *Packet) {
 }
 
 // deliverMatched hands a matched packet to the node's Receiver and recycles
-// it. Receivers must not retain the pointer past the call.
+// it. Receivers must not retain the pointer past the call. After the LAST
+// packet's dispatch returns, a pooled message is recycled too: the transport
+// owns pooled-message lifetime, and the retention audit (recvStates,
+// channels, core msgs, mpisim inflight — all keyed by *Message and emptied
+// during the final dispatch) guarantees no layer holds the pointer past this
+// instant.
 func deliverMatched(a any) {
 	pkt := a.(*Packet)
 	n := pkt.node
 	c := n.cluster
+	last, msg := pkt.Last, pkt.Msg
 	n.Recv.ReceivePacket(c.Eng.Now(), pkt)
 	c.freePacket(pkt)
+	if last && msg.pooled {
+		c.recycleMessage(msg)
+	}
 }
 
 // HostSend charges the injection overhead o on a host core at time now and

@@ -77,6 +77,29 @@ type EQ struct {
 	eng     *sim.Engine
 	events  []Event
 	handler func(Event)
+
+	// noteFree recycles the pre-bound dispatch records Append schedules in
+	// place of per-event closures; engine-owned (not sync.Pool) so reuse
+	// order is deterministic.
+	noteFree []*eqNote
+}
+
+// eqNote carries one OnEvent dispatch through the engine: the handler and
+// the event are bound at Append time (matching the closure semantics this
+// replaces) and the note is recycled when it fires.
+type eqNote struct {
+	q  *EQ
+	h  func(Event)
+	ev Event
+}
+
+// runEQNote is the ScheduleCall entry point for OnEvent dispatches.
+func runEQNote(a any) {
+	n := a.(*eqNote)
+	q, h, ev := n.q, n.h, n.ev
+	*n = eqNote{}
+	q.noteFree = append(q.noteFree, n)
+	h(ev)
 }
 
 // NewEQ allocates an event queue on the engine.
@@ -86,13 +109,24 @@ func NewEQ(eng *sim.Engine) *EQ { return &EQ{eng: eng} }
 func (q *EQ) Append(ev Event) {
 	q.events = append(q.events, ev)
 	if q.handler != nil {
-		h := q.handler
-		if ev.At >= q.eng.Now() {
-			q.eng.Schedule(ev.At, func() { h(ev) })
-		} else {
-			q.eng.Schedule(q.eng.Now(), func() { h(ev) })
+		n := q.allocNote()
+		n.q, n.h, n.ev = q, q.handler, ev
+		at := ev.At
+		if now := q.eng.Now(); at < now {
+			at = now
 		}
+		q.eng.ScheduleCall(at, runEQNote, n)
 	}
+}
+
+// allocNote draws a dispatch record from the free list.
+func (q *EQ) allocNote() *eqNote {
+	if n := len(q.noteFree); n > 0 {
+		note := q.noteFree[n-1]
+		q.noteFree = q.noteFree[:n-1]
+		return note
+	}
+	return &eqNote{}
 }
 
 // OnEvent installs the callback invoked for each appended event.
@@ -122,11 +156,37 @@ func (q *EQ) PollUpTo(now sim.Time) []Event {
 	return out
 }
 
-// trigger is one armed threshold action on a counter.
+// trigger is one armed threshold action on a counter, stored by value so
+// arming on the hot path allocates nothing. Exactly one of fn (closure
+// form, OnReach) and call (pre-bound form, OnReachCall) is set.
 type trigger struct {
 	threshold uint64
 	fn        func(now sim.Time)
-	fired     bool
+	call      func(arg any, now sim.Time)
+	arg       any
+}
+
+// ctNote carries one fired trigger through the engine without a closure;
+// recycled when it runs.
+type ctNote struct {
+	ct   *CT
+	fn   func(now sim.Time)
+	call func(arg any, now sim.Time)
+	arg  any
+}
+
+// runCTNote is the ScheduleCall entry point for fired triggers.
+func runCTNote(a any) {
+	n := a.(*ctNote)
+	ct, fn, call, arg := n.ct, n.fn, n.call, n.arg
+	*n = ctNote{}
+	ct.noteFree = append(ct.noteFree, n)
+	now := ct.eng.Now()
+	if call != nil {
+		call(arg, now)
+	} else {
+		fn(now)
+	}
 }
 
 // CT is a counting event (§3.1): a success counter with threshold triggers,
@@ -135,7 +195,10 @@ type CT struct {
 	eng      *sim.Engine
 	count    uint64
 	failures uint64
-	triggers []*trigger
+	triggers []trigger
+
+	// noteFree recycles fired-trigger dispatch records; engine-owned.
+	noteFree []*ctNote
 }
 
 // NewCT allocates a counter on the engine.
@@ -175,22 +238,57 @@ func (ct *CT) Inc(now sim.Time, n uint64) {
 func (ct *CT) IncFailure(now sim.Time) { ct.failures++ }
 
 // OnReach arms fn to run once when the counter reaches threshold. If the
-// threshold has already been reached the action fires immediately.
+// threshold has already been reached the action fires immediately. Hot
+// paths use OnReachCall, which neither allocates a closure at arm time nor
+// one at fire time.
 func (ct *CT) OnReach(threshold uint64, fn func(now sim.Time)) {
-	tr := &trigger{threshold: threshold, fn: fn}
-	ct.triggers = append(ct.triggers, tr)
-	if ct.count >= threshold {
-		tr.fired = true
-		ct.eng.Schedule(ct.eng.Now(), func() { fn(ct.eng.Now()) })
-	}
+	ct.arm(trigger{threshold: threshold, fn: fn})
 }
 
+// OnReachCall is the closure-free form of OnReach, in the style of
+// sim.Engine.ScheduleCall: when the counter reaches threshold, fn(arg, now)
+// runs once through the engine. Arming draws no heap allocation (triggers
+// are stored by value) and firing dispatches through a pooled record.
+func (ct *CT) OnReachCall(threshold uint64, fn func(arg any, now sim.Time), arg any) {
+	ct.arm(trigger{threshold: threshold, call: fn, arg: arg})
+}
+
+func (ct *CT) arm(tr trigger) {
+	if ct.count >= tr.threshold {
+		ct.schedule(ct.eng.Now(), tr)
+		return
+	}
+	ct.triggers = append(ct.triggers, tr)
+}
+
+// schedule dispatches a reached trigger through the engine via a pooled
+// note, preserving the deferred (next-event) semantics of the closure form.
+func (ct *CT) schedule(now sim.Time, tr trigger) {
+	var n *ctNote
+	if ln := len(ct.noteFree); ln > 0 {
+		n = ct.noteFree[ln-1]
+		ct.noteFree = ct.noteFree[:ln-1]
+	} else {
+		n = &ctNote{}
+	}
+	n.ct, n.fn, n.call, n.arg = ct, tr.fn, tr.call, tr.arg
+	ct.eng.ScheduleCall(now, runCTNote, n)
+}
+
+// fire schedules every newly reached trigger in arm order and compacts the
+// armed list in place (preserving relative order, so simultaneous future
+// firings keep their deterministic sequence). Fired triggers leave the list
+// immediately, which keeps the scan O(live triggers) for workloads that arm
+// monotonically increasing thresholds (raidsim's per-write acks).
 func (ct *CT) fire(now sim.Time) {
+	kept := ct.triggers[:0]
 	for _, tr := range ct.triggers {
-		if !tr.fired && ct.count >= tr.threshold {
-			tr.fired = true
-			fn := tr.fn
-			ct.eng.Schedule(now, func() { fn(ct.eng.Now()) })
+		if ct.count >= tr.threshold {
+			ct.schedule(now, tr)
+		} else {
+			kept = append(kept, tr)
 		}
 	}
+	clear(ct.triggers[len(kept):])
+	ct.triggers = kept
 }

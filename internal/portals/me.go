@@ -168,23 +168,22 @@ func (ni *NI) buildMEContext(me *ME) *core.MEContext {
 // from the device and its reply is deposited into the issuing ME's host
 // memory at req.LocalOffset.
 func (ni *NI) handlerGet(now sim.Time, me *ME, req core.GetRequest) {
-	m := &netsim.Message{
-		Type:      netsim.OpGet,
-		Src:       ni.Node.Rank,
-		Dst:       req.Target,
-		PTIndex:   req.PTIndex,
-		MatchBits: req.MatchBits,
-		Offset:    req.RemoteOffset,
-		HdrData:   req.HdrData,
-		GetLength: req.Length,
-	}
+	m := ni.C.AllocMessage()
+	m.Type = netsim.OpGet
+	m.Src = ni.Node.Rank
+	m.Dst = req.Target
+	m.PTIndex = req.PTIndex
+	m.MatchBits = req.MatchBits
+	m.Offset = req.RemoteOffset
+	m.HdrData = req.HdrData
+	m.GetLength = req.Length
 	m.ID = ni.C.NextID()
-	ni.outstanding[m.ID] = &pendingOp{
-		dest:    me.Start,
-		destOff: req.LocalOffset,
-		onDone:  req.OnDone,
-		total:   ni.C.P.Packets(req.Length),
-	}
+	op := ni.allocOp()
+	op.dest = me.Start
+	op.destOff = req.LocalOffset
+	op.onDone = req.OnDone
+	op.total = ni.C.P.Packets(req.Length)
+	ni.outstanding[m.ID] = op
 	ni.C.DeviceSend(now, m)
 }
 

@@ -1,0 +1,149 @@
+package portals
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// poolSizes snapshots every pool an error path could leak from: the
+// cluster message free list and the NI's pendingOp / sendNote / recvState
+// free lists, plus the outstanding-operation table.
+type poolSizes struct {
+	msgs, ops, notes, recvs, outstanding int
+}
+
+func snapshot(c *netsim.Cluster, ni *NI) poolSizes {
+	return poolSizes{
+		msgs:        c.PooledMessages(),
+		ops:         len(ni.opFree),
+		notes:       len(ni.snFree),
+		recvs:       len(ni.rsFree),
+		outstanding: len(ni.outstanding),
+	}
+}
+
+// TestErrorPathsLeakNoPooledObjects drives the validated Put/Get error
+// paths — oversized user header, transfer outside the MD — and asserts no
+// pooled object is drawn and lost: validation happens before any pool is
+// touched, so a failing operation leaves every free list and the
+// outstanding table exactly as it found them.
+func TestErrorPathsLeakNoPooledObjects(t *testing.T) {
+	c, nis := pair(t)
+	ni := nis[0]
+	_, eq := postME(t, nis[1], 5, 7, 4096)
+	_ = eq
+
+	// Warm the pools with one successful round trip so "unchanged" below
+	// means "recycled", not "never used".
+	md := ni.MDBind(make([]byte, 256), NewCT(c.Eng), nil)
+	if _, err := ni.Put(0, PutArgs{MD: md, Length: 64, Target: 1, PTIndex: 5, MatchBits: 7, AckReq: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	before := snapshot(c, ni)
+	if before.outstanding != 0 {
+		t.Fatalf("warm-up left %d outstanding ops", before.outstanding)
+	}
+
+	now := c.Eng.Now()
+	if _, err := ni.Put(now, PutArgs{
+		UserHdr: make([]byte, ni.Limits.MaxUserHdrSize+1),
+		Length:  8, Target: 1, PTIndex: 5, MatchBits: 7,
+	}); err == nil {
+		t.Fatal("oversized user header accepted")
+	}
+	if _, err := ni.Put(now, PutArgs{
+		MD: md, LocalOffset: 200, Length: 128, Target: 1, PTIndex: 5, MatchBits: 7,
+	}); err == nil {
+		t.Fatal("put outside MD bounds accepted")
+	}
+	if _, err := ni.Get(now, GetArgs{
+		MD: md, LocalOffset: -1, Length: 8, Target: 1, PTIndex: 5, MatchBits: 7,
+	}); err == nil {
+		t.Fatal("get outside MD bounds accepted")
+	}
+	c.Eng.Run()
+
+	if after := snapshot(c, ni); after != before {
+		t.Fatalf("error paths disturbed pools: before %+v, after %+v", before, after)
+	}
+}
+
+// TestAckForRecycledMessageDoesNotLeak covers the ack-after-completion
+// race the pooling contract allows: pendingOps are keyed by message ID (a
+// scalar), so an OpAck whose originating put has already completed — its
+// wire message long since recycled and possibly reused — must be dropped
+// without touching any pool or resurrecting the freed operation.
+func TestAckForRecycledMessageDoesNotLeak(t *testing.T) {
+	c, nis := pair(t)
+	ni := nis[0]
+	postME(t, nis[1], 5, 7, 4096)
+
+	ct := NewCT(c.Eng)
+	md := ni.MDBind(make([]byte, 64), ct, nil)
+	if _, err := ni.Put(0, PutArgs{MD: md, Length: 32, Target: 1, PTIndex: 5, MatchBits: 7, AckReq: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	// Send CT increment + ack CT increment.
+	if got := ct.Get(); got != 2 {
+		t.Fatalf("round trip: CT = %d, want 2", got)
+	}
+	before := snapshot(c, ni)
+
+	// Replay the ack for the completed (and recycled) put: ID 1 was the
+	// first message the cluster issued.
+	for i := 0; i < 3; i++ {
+		stale := c.AllocMessage()
+		stale.Type = netsim.OpAck
+		stale.Src = 1
+		stale.Dst = 0
+		stale.ReplyTo = 1
+		c.DeviceSend(c.Eng.Now(), stale)
+		c.Eng.Run()
+	}
+
+	after := snapshot(c, ni)
+	if after != before {
+		t.Fatalf("stale acks disturbed pools: before %+v, after %+v", before, after)
+	}
+	if got := ct.Get(); got != 2 {
+		t.Fatalf("stale ack incremented the MD counter: CT = %d, want 2", got)
+	}
+}
+
+// TestSteadyStatePoolsStable pins the retention contract end to end: after
+// a warm-up burst, repeating the same mixed workload (data puts with send
+// notification, acked puts, gets) must leave every pool at exactly its
+// idle size — growth would mean a leak, shrinkage a retained object.
+func TestSteadyStatePoolsStable(t *testing.T) {
+	c, nis := pair(t)
+	ni := nis[0]
+	postME(t, nis[1], 5, 7, 1<<16)
+
+	ct := NewCT(c.Eng)
+	md := ni.MDBind(make([]byte, 8192), ct, nil)
+	burst := func() {
+		now := c.Eng.Now()
+		if _, err := ni.Put(now, PutArgs{MD: md, Length: 4096, Target: 1, PTIndex: 5, MatchBits: 7}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ni.Put(now, PutArgs{MD: md, Length: 64, Target: 1, PTIndex: 5, MatchBits: 7, AckReq: true}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ni.Get(now, GetArgs{MD: md, Length: 2048, Target: 1, PTIndex: 5, MatchBits: 7}); err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.Run()
+	}
+	burst()
+	burst()
+	idle := snapshot(c, ni)
+	for i := 0; i < 50; i++ {
+		burst()
+		if got := snapshot(c, ni); got != idle {
+			t.Fatalf("iteration %d: pools drifted: idle %+v, got %+v", i, idle, got)
+		}
+	}
+}

@@ -73,8 +73,11 @@ const (
 	AtomicSwap
 )
 
-// pendingOp tracks a get or ack outstanding at the initiator.
+// pendingOp tracks a get or ack outstanding at the initiator. Instances are
+// drawn from NI.opFree and recycled when the operation completes (or when
+// the NI resets with operations still outstanding).
 type pendingOp struct {
+	ni      *NI
 	dest    []byte
 	destOff int64
 	md      *MD
@@ -82,6 +85,40 @@ type pendingOp struct {
 	total   int
 	arrived int
 	visible sim.Time
+}
+
+// runOpDone is the ScheduleCall entry point for a completed operation's
+// OnDone callback; it recycles the op before invoking the callback (which
+// may issue new operations).
+func runOpDone(a any) {
+	op := a.(*pendingOp)
+	ni, fn := op.ni, op.onDone
+	ni.freeOp(op)
+	fn(ni.C.Eng.Now())
+}
+
+// sendNote carries one put's send-side completion (MD counter increment and
+// SEND event) through the transport's pre-bound Delivered dispatch; pooled
+// on the NI.
+type sendNote struct {
+	ni     *NI
+	md     *MD
+	length int
+}
+
+// runSendDelivered is the Message.Delivered target for puts with an MD
+// counter or event queue.
+func runSendDelivered(a any, now sim.Time) {
+	sn := a.(*sendNote)
+	ni, md, length := sn.ni, sn.md, sn.length
+	*sn = sendNote{}
+	ni.snFree = append(ni.snFree, sn)
+	if md.CT != nil {
+		md.CT.Inc(now, 1)
+	}
+	if md.EQ != nil {
+		md.EQ.Append(Event{Type: EventSend, At: now, Length: length})
+	}
 }
 
 // NI is a logical network interface bound to one node. It implements
@@ -97,9 +134,11 @@ type NI struct {
 	recvStates  map[*netsim.Message]*recvState
 	channels    map[*netsim.Message]*ME
 
-	// rsFree recycles recvState objects; engine-owned (not sync.Pool) so
-	// reuse order is deterministic.
+	// rsFree, opFree, and snFree recycle recvState, pendingOp, and sendNote
+	// objects; engine-owned (not sync.Pool) so reuse order is deterministic.
 	rsFree []*recvState
+	opFree []*pendingOp
+	snFree []*sendNote
 
 	// Drops counts packets discarded because no ME matched or the portal
 	// was disabled.
@@ -133,11 +172,48 @@ func NewNI(c *netsim.Cluster, rank int) *NI {
 // nothing to reach its pristine state.
 func (ni *NI) Reset() {
 	clear(ni.pt)
+	ni.releaseInFlight()
+	ni.Drops = 0
+	ni.RT.Reset()
+}
+
+// releaseInFlight returns outstanding operations to the op pool and clears
+// the in-flight maps in place. Map iteration order is irrelevant here: pool
+// entries are zeroed on allocation, so recycle order changes allocation
+// behaviour only, never simulated time.
+func (ni *NI) releaseInFlight() {
+	for _, op := range ni.outstanding {
+		ni.freeOp(op)
+	}
 	clear(ni.outstanding)
 	clear(ni.recvStates)
 	clear(ni.channels)
-	ni.Drops = 0
-	ni.RT.Reset()
+}
+
+// allocOp draws a zeroed pendingOp bound to this NI from the free list.
+func (ni *NI) allocOp() *pendingOp {
+	if n := len(ni.opFree); n > 0 {
+		op := ni.opFree[n-1]
+		ni.opFree = ni.opFree[:n-1]
+		*op = pendingOp{ni: ni}
+		return op
+	}
+	return &pendingOp{ni: ni}
+}
+
+// freeOp recycles a completed (or abandoned) operation.
+func (ni *NI) freeOp(op *pendingOp) {
+	ni.opFree = append(ni.opFree, op)
+}
+
+// allocSendNote draws a send-completion note from the free list.
+func (ni *NI) allocSendNote() *sendNote {
+	if n := len(ni.snFree); n > 0 {
+		sn := ni.snFree[n-1]
+		ni.snFree = ni.snFree[:n-1]
+		return sn
+	}
+	return &sendNote{}
 }
 
 // ResetInFlight returns the interface to an idle state while keeping its
@@ -151,9 +227,7 @@ func (ni *NI) Reset() {
 // determinism contract of netsim.Cluster.Reset applies: an interface reset
 // this way behaves bit-identically in simulated time to one freshly set up.
 func (ni *NI) ResetInFlight() {
-	clear(ni.outstanding)
-	clear(ni.recvStates)
-	clear(ni.channels)
+	ni.releaseInFlight()
 	ni.Drops = 0
 	for _, pte := range ni.pt {
 		pte.Enabled = true
@@ -235,45 +309,45 @@ type PutArgs struct {
 	NoData bool
 }
 
+// buildPut assembles a pooled put message. Validation happens before the
+// message is drawn from the cluster's free list, so error paths allocate
+// and leak nothing.
 func (ni *NI) buildPut(a PutArgs) (*netsim.Message, error) {
 	if len(a.UserHdr) > ni.Limits.MaxUserHdrSize {
 		return nil, fmt.Errorf("portals: user header of %d bytes exceeds limit %d", len(a.UserHdr), ni.Limits.MaxUserHdrSize)
 	}
-	var data []byte
-	if !a.NoData && a.MD != nil {
+	stage := !a.NoData && a.MD != nil
+	if stage {
 		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
 			return nil, fmt.Errorf("portals: put [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
 		}
-		data = make([]byte, a.Length)
-		copy(data, a.MD.Buf[a.LocalOffset:])
 	}
-	m := &netsim.Message{
-		Type:      netsim.OpPut,
-		Src:       ni.Node.Rank,
-		Dst:       a.Target,
-		PTIndex:   a.PTIndex,
-		MatchBits: a.MatchBits,
-		Offset:    a.RemoteOffset,
-		HdrData:   a.HdrData,
-		UserHdr:   a.UserHdr,
-		Length:    a.Length,
-		Data:      data,
-		AckReq:    a.AckReq,
+	m := ni.C.AllocMessage()
+	m.Type = netsim.OpPut
+	m.Src = ni.Node.Rank
+	m.Dst = a.Target
+	m.PTIndex = a.PTIndex
+	m.MatchBits = a.MatchBits
+	m.Offset = a.RemoteOffset
+	m.HdrData = a.HdrData
+	m.UserHdr = a.UserHdr
+	m.Length = a.Length
+	m.AckReq = a.AckReq
+	if stage {
+		copy(m.StageData(a.Length), a.MD.Buf[a.LocalOffset:])
 	}
 	m.ID = ni.C.NextID()
 	if a.AckReq {
-		ni.outstanding[m.ID] = &pendingOp{md: a.MD, total: 1}
+		op := ni.allocOp()
+		op.md = a.MD
+		op.total = 1
+		ni.outstanding[m.ID] = op
 	}
 	if a.MD != nil && (a.MD.CT != nil || a.MD.EQ != nil) {
-		md := a.MD
-		m.OnDelivered = func(now sim.Time) {
-			if md.CT != nil {
-				md.CT.Inc(now, 1)
-			}
-			if md.EQ != nil {
-				md.EQ.Append(Event{Type: EventSend, At: now, Length: a.Length})
-			}
-		}
+		sn := ni.allocSendNote()
+		sn.ni, sn.md, sn.length = ni, a.MD, a.Length
+		m.Delivered = runSendDelivered
+		m.DeliveredArg = sn
 	}
 	return m, nil
 }
@@ -319,18 +393,20 @@ func (ni *NI) buildGet(a GetArgs) (*netsim.Message, error) {
 			return nil, fmt.Errorf("portals: get reply [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
 		}
 	}
-	m := &netsim.Message{
-		Type:      netsim.OpGet,
-		Src:       ni.Node.Rank,
-		Dst:       a.Target,
-		PTIndex:   a.PTIndex,
-		MatchBits: a.MatchBits,
-		Offset:    a.RemoteOffset,
-		HdrData:   a.HdrData,
-		GetLength: a.Length,
-	}
+	m := ni.C.AllocMessage()
+	m.Type = netsim.OpGet
+	m.Src = ni.Node.Rank
+	m.Dst = a.Target
+	m.PTIndex = a.PTIndex
+	m.MatchBits = a.MatchBits
+	m.Offset = a.RemoteOffset
+	m.HdrData = a.HdrData
+	m.GetLength = a.Length
 	m.ID = ni.C.NextID()
-	op := &pendingOp{md: a.MD, destOff: a.LocalOffset, onDone: a.OnDone}
+	op := ni.allocOp()
+	op.md = a.MD
+	op.destOff = a.LocalOffset
+	op.onDone = a.OnDone
 	if a.MD != nil {
 		op.dest = a.MD.Buf
 	}

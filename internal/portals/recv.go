@@ -148,6 +148,9 @@ func (ni *NI) depositPacket(now sim.Time, pkt *netsim.Packet, st *recvState) {
 		st.visible = now
 	}
 	if st.arrived == st.total {
+		// Last packet: drop every reference to the message now — the
+		// transport recycles pooled messages the moment this dispatch
+		// returns (see netsim.deliverMatched).
 		delete(ni.recvStates, st.msg)
 		ni.completeDeposit(st)
 		ni.freeRecvState(st)
@@ -195,7 +198,7 @@ func (ni *NI) completeDeposit(st *recvState) {
 		Offset:    st.offset,
 	})
 	if st.msg.AckReq {
-		ni.sendAck(at, st.msg)
+		ni.sendAck(at, st.msg.ID, st.msg.Src)
 	}
 }
 
@@ -217,14 +220,15 @@ func (ni *NI) postEvent(at sim.Time, me *ME, ev Event) {
 	eq.Append(ev)
 }
 
-// sendAck returns an OpAck to the initiator (ack_req semantics).
-func (ni *NI) sendAck(at sim.Time, orig *netsim.Message) {
-	ack := &netsim.Message{
-		Type:    netsim.OpAck,
-		Src:     ni.Node.Rank,
-		Dst:     orig.Src,
-		ReplyTo: orig.ID,
-	}
+// sendAck returns an OpAck to the initiator (ack_req semantics). It takes
+// the original message's ID and source as scalars so callers on deferred
+// paths (handler completion) need not retain the message itself.
+func (ni *NI) sendAck(at sim.Time, origID uint64, origSrc int) {
+	ack := ni.C.AllocMessage()
+	ack.Type = netsim.OpAck
+	ack.Src = ni.Node.Rank
+	ack.Dst = origSrc
+	ack.ReplyTo = origID
 	ni.C.DeviceSend(at, ack)
 }
 
@@ -249,17 +253,17 @@ func (ni *NI) finishMessage(now sim.Time, me *ME, r core.MessageResult) {
 	ni.postEvent(now, me, Event{
 		Type:         evType,
 		ME:           me,
-		Source:       r.Msg.Src,
-		MatchBits:    r.Msg.MatchBits,
-		HdrData:      r.Msg.HdrData,
-		Length:       r.Msg.Length,
-		Offset:       r.Msg.Offset,
+		Source:       r.Source,
+		MatchBits:    r.MatchBits,
+		HdrData:      r.HdrData,
+		Length:       r.Length,
+		Offset:       r.Offset,
 		DroppedBytes: r.DroppedBytes,
 		FlowControl:  r.FlowControl,
 		Err:          r.Err,
 	})
-	if r.Msg.AckReq {
-		ni.sendAck(now, r.Msg)
+	if r.AckReq {
+		ni.sendAck(now, r.MsgID, r.Source)
 	}
 }
 
@@ -295,18 +299,14 @@ func (ni *NI) serveGet(now sim.Time, pkt *netsim.Packet) {
 	}
 	ready := ni.Node.Bus.Read(now, length)
 	ni.C.Rec.Record(ni.Node.Rank, "DMA", now, ready, "get-fetch")
-	var data []byte
+	reply := ni.C.AllocMessage()
+	reply.Type = netsim.OpGetResponse
+	reply.Src = ni.Node.Rank
+	reply.Dst = msg.Src
+	reply.Length = length
+	reply.ReplyTo = msg.ID
 	if me.Start != nil {
-		data = make([]byte, length)
-		copy(data, me.Start[offset:])
-	}
-	reply := &netsim.Message{
-		Type:    netsim.OpGetResponse,
-		Src:     ni.Node.Rank,
-		Dst:     msg.Src,
-		Length:  length,
-		Data:    data,
-		ReplyTo: msg.ID,
+		copy(reply.StageData(length), me.Start[offset:])
 	}
 	ni.C.DeviceSend(ready, reply)
 	if me.CT != nil {
@@ -357,8 +357,9 @@ func (ni *NI) recvReply(now sim.Time, pkt *netsim.Packet) {
 			}
 		}
 		if op.onDone != nil {
-			fn := op.onDone
-			ni.C.Eng.Schedule(at, func() { fn(ni.C.Eng.Now()) })
+			ni.C.Eng.ScheduleCall(at, runOpDone, op)
+		} else {
+			ni.freeOp(op)
 		}
 	}
 }
@@ -379,8 +380,9 @@ func (ni *NI) recvAck(now sim.Time, pkt *netsim.Packet) {
 		}
 	}
 	if op.onDone != nil {
-		fn := op.onDone
-		ni.C.Eng.Schedule(now, func() { fn(ni.C.Eng.Now()) })
+		ni.C.Eng.ScheduleCall(now, runOpDone, op)
+	} else {
+		ni.freeOp(op)
 	}
 }
 

@@ -55,6 +55,7 @@ type System struct {
 	readEQ    *portals.EQ
 	opDone    sim.Time
 	readOpen  bool
+	partsBuf  [DataNodes]int
 
 	// Stats
 	Writes, Reads uint64
@@ -258,9 +259,11 @@ func (s *System) setupDataServer(server int) error {
 	return ni.MEAppend(readPT, readME, portals.PriorityList)
 }
 
-// chunks splits a transfer across the data nodes (one stripe).
-func chunks(size int) []int {
-	out := make([]int, 0, DataNodes)
+// chunks splits a transfer across the data nodes (one stripe). The result
+// aliases a per-system buffer valid until the next call — Write consumes it
+// before issuing the next operation.
+func (s *System) chunks(size int) []int {
+	out := s.partsBuf[:0]
 	base := size / DataNodes
 	rem := size % DataNodes
 	for i := 0; i < DataNodes; i++ {
@@ -275,6 +278,11 @@ func chunks(size int) []int {
 	return out
 }
 
+// writeDone is the pre-bound OnReachCall target that stamps a write's
+// completion time — the per-request replacement for the former per-write
+// closure on the ack counter.
+func writeDone(a any, now sim.Time) { a.(*System).opDone = now }
+
 // Write performs one striped write of size bytes starting at time start
 // and returns its completion time (all acks received, parity updated).
 func (s *System) Write(start sim.Time, size int) (sim.Time, error) {
@@ -283,7 +291,7 @@ func (s *System) Write(start sim.Time, size int) (sim.Time, error) {
 	}
 	s.Writes++
 	s.BytesMoved += uint64(size)
-	parts := chunks(size)
+	parts := s.chunks(size)
 	expected := uint64(len(parts))
 	if s.spin {
 		expected = 0
@@ -293,7 +301,7 @@ func (s *System) Write(start sim.Time, size int) (sim.Time, error) {
 	}
 	s.opDone = 0
 	target := s.acksSoFar + expected
-	s.ackCT.OnReach(target, func(now sim.Time) { s.opDone = now })
+	s.ackCT.OnReachCall(target, writeDone, s)
 	t := start
 	for i, n := range parts {
 		var err error

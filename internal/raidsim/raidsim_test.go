@@ -156,8 +156,9 @@ func TestResetBitIdenticalToFresh(t *testing.T) {
 }
 
 func TestChunksPartition(t *testing.T) {
+	var s System
 	for _, size := range []int{1, 3, 4, 5, 4096, 4097, 1 << 18} {
-		parts := chunks(size)
+		parts := s.chunks(size)
 		sum := 0
 		for _, n := range parts {
 			if n <= 0 {

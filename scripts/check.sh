@@ -18,6 +18,17 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+echo "== examples build =="
+# ./... covers these too, but the explicit step keeps the gate visible: every
+# example must keep compiling, and each must say which paper figure/table it
+# reproduces (the package-comment lint below checks the comment exists).
+go build ./examples/...
+
+echo "== package doc comments =="
+# Every package (internal, commands, examples) must carry a package-level
+# doc comment; see ARCHITECTURE.md for why the layer map depends on this.
+go run ./scripts/pkgdoclint
+
 echo "== go test =="
 go test ./...
 
@@ -31,9 +42,10 @@ go test -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
 # Experiment-level concurrency in spinbench must match serial stdout.
 go test -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
-echo "== alloc budgets (engine schedule / transport / Table5c) =="
+echo "== alloc budgets (engine schedule / transport / Table5c / SPC) =="
 # Ceilings from BENCH_core.json: 0 allocs per schedule+dispatch, <= 7 per
-# 256-packet message, and the post-replay-reuse Table 5c budget.
+# 256-packet message, the post-replay-reuse Table 5c budget, and the
+# post-portals-pooling SPC budget.
 go test -count=1 -run 'TestAllocBudgets' .
 
 echo "== perf smoke (BenchmarkFig3b, 1x) =="
