@@ -23,20 +23,27 @@ import (
 //     allocs per 256-packet message on a cold cluster; steady state on a
 //     warm cluster is lower still.
 //   - table5cBudget: one Table 5c regeneration at benchScale. PR 2
-//     measured 6,539,299 allocs; the PR-3 replay-engine reuse brings it to
-//     ~439k. The budget admits drift to 600k — any return toward the
-//     per-replay-engine regime fails the gate.
+//     measured 6,539,299 allocs; the PR-3 replay-engine reuse brought it to
+//     ~439k, and the PR-5 pooled program sets plus the allocation-free
+//     neighbor arithmetic to ~74k. The 150k budget admits drift — any
+//     return toward per-replay program construction fails the gate.
 //   - spcBudget: one full SPC trace-study regeneration (five traces, both
 //     NIC types, both protocols). PR 3 measured ~155k allocs, dominated by
 //     per-request portals work; the PR-4 portals-layer pooling (message
 //     free list, pooled pendingOps/contexts, closure-free EQ/CT dispatch)
 //     brings it to ~2.9k. The 15k budget is a 10x regression gate that
 //     still sits 10x below the pre-pooling regime.
+//   - fig5aBudget: one Fig 5a regeneration at benchScale. ~321k before
+//     PR 5; pooled triggered-op records, the closure-free MEContext owner
+//     dispatch, NI-pooled EQs/CTs/PT entries, and the Env arenas for
+//     matching entries, child lists, and deposit regions bring it to
+//     ~108k. The 120k budget fails if any of those pools is lost.
 const (
 	engineScheduleBudget   = 0
 	clusterSendLargeBudget = 7
-	table5cBudget          = 600_000
+	table5cBudget          = 150_000
 	spcBudget              = 15_000
+	fig5aBudget            = 120_000
 )
 
 func TestAllocBudgets(t *testing.T) {
@@ -91,6 +98,20 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if got := res.AllocsPerOp(); got > table5cBudget {
 			t.Errorf("Table5c regeneration = %d allocs/op, budget %d", got, table5cBudget)
+		}
+	})
+
+	t.Run("Fig5a", func(t *testing.T) {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Fig5a(benchScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if got := res.AllocsPerOp(); got > fig5aBudget {
+			t.Errorf("Fig5a regeneration = %d allocs/op, budget %d", got, fig5aBudget)
 		}
 	})
 

@@ -73,6 +73,43 @@
 //     pure per-request protocol work — dropped from ~155k to ~2.9k
 //     allocations (54x). The retention rules that make transport-owned
 //     recycling safe are normative in ARCHITECTURE.md.
+//   - Vectorized datatype scatter. The Fig 7a payload handler touches
+//     every 16-byte block of each packet; materializing a []Segment per
+//     packet and paying a front-to-back interval scan per block made fig7a
+//     the slowest experiment (~6 s) while allocating per packet.
+//     datatype.Type now exposes an allocation-free visitor (ForEachSegment)
+//     with closed-form SegmentCount/SegmentStats for Vector, and
+//     core.Ctx.DMAToHostVec issues the whole scatter as one descriptor
+//     chain. The chain charges exactly what a block-at-a-time DMAToHostB
+//     loop charges — per-block arithmetic, per-descriptor issue cost, one
+//     bus reservation per transaction — so simulated time is
+//     bit-identical by construction; only the simulator-side work went
+//     away. The complementary sim.Intervals fast paths (binary-search scan
+//     start, max-gap upper bound for tail placement) return exactly what
+//     the naive first-fit scan returns. Together: fig7a ~60x wall-clock,
+//     0 allocs per scatter (BenchmarkVectorScatter), every printed digit
+//     unchanged.
+//   - Closure-free triggered operations. TriggeredPut/TriggeredGet used to
+//     arm one closure per operation (and panic from inside the event loop
+//     if the arguments could never fire). Armed operations are now pooled
+//     triggeredOp records dispatched through CT.OnReachCall, validated at
+//     arm time by the same checks the device path runs
+//     (ArmTriggeredPut/ArmTriggeredGet are the fallible forms; the old
+//     signatures remain as panicking wrappers). Matching entries embed
+//     their core.MEContext by value and serve its upcalls through the
+//     core.MEOwner interface — no per-append context or callback closures —
+//     NB DMA handles became stack values, and portal-table entries, EQs,
+//     and CTs handed out by NI.NewEQ/NewCT recycle on NI.Reset. With the
+//     bench-side arenas (matching entries, binomial child lists, deposit
+//     regions on bench.Env), a Fig 5a regeneration fell from ~321k to
+//     ~108k allocations.
+//   - Pooled program sets. Table 5c rebuilt every rank program per
+//     calibration probe and per replay. apps.App.ProgramsInto builds into a
+//     caller-owned grow-only mpisim.ProgramBuffer cached on bench.Env
+//     (contents identical to a fresh build; zero allocations once warm),
+//     and apps.neighbor computes halo partners without materializing
+//     coordinate vectors — together a Table 5c regeneration fell from ~439k
+//     to ~74k allocations.
 //   - Parallel sweeps. The engine stays single-threaded by design, so
 //     bench.Sweep parallelizes across measurement points instead: point i
 //     runs on worker i mod W (each worker owns its Env, engines, and

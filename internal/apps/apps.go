@@ -91,20 +91,44 @@ func rankOf(c []int, dims []int) int {
 	return r
 }
 
-// neighbor returns the rank offset by delta in dimension dim.
+// neighbor returns the rank offset by delta in dimension dim (periodic
+// boundaries). Only the target dimension's coordinate is decomposed, so the
+// hot program-building loop allocates no coordinate vectors — neighbor runs
+// twice per dimension per iteration per rank, which made the coords-based
+// form the dominant allocation of an entire Table 5c regeneration.
 func neighbor(rank int, dims []int, dim, delta int) int {
-	c := coords(rank, dims)
-	c[dim] += delta
-	return rankOf(c, dims)
+	stride := 1
+	for i := len(dims) - 1; i > dim; i-- {
+		stride *= dims[i]
+	}
+	d := dims[dim]
+	c := (rank / stride) % d
+	shifted := ((c+delta)%d + d) % d
+	return rank + (shifted-c)*stride
 }
 
 // Programs builds per-rank programs: iterations of halo exchange (post
 // receives, send faces, compute, wait) — the standard overlap structure.
 // computePerIter sets the per-iteration compute phase.
 func (a App) Programs(iterations int, computePerIter sim.Time) [][]mpisim.Op {
-	progs := make([][]mpisim.Op, a.Ranks)
+	return a.ProgramsInto(nil, iterations, computePerIter)
+}
+
+// ProgramsInto is Programs writing into a caller-owned grow-only buffer:
+// the op contents are identical to a fresh Programs build, but the [][]Op
+// spine and every per-rank slice are reused, so a warm buffer rebuilds a
+// program set without allocating (the Table 5c sweep rebuilds one per
+// calibration probe and per replay). A nil buffer builds fresh storage. The
+// buffer's ownership rules (no rebuild while an engine bound to the
+// previous contents may still run) are documented on
+// mpisim.ProgramBuffer.
+func (a App) ProgramsInto(buf *mpisim.ProgramBuffer, iterations int, computePerIter sim.Time) [][]mpisim.Op {
+	if buf == nil {
+		buf = new(mpisim.ProgramBuffer)
+	}
+	progs := buf.Ranks(a.Ranks)
 	for r := 0; r < a.Ranks; r++ {
-		var ops []mpisim.Op
+		ops := progs[r]
 		for it := 0; it < iterations; it++ {
 			// Tags must uniquely pair each send with its receive:
 			// iteration, dimension, direction.
@@ -165,9 +189,12 @@ func Replay(cfg mpisim.Config) Runner {
 // point-to-point fraction matches the paper's: it probe-runs a few
 // iterations without compute to measure the communication cost per
 // iteration, then solves comm/(comm+compute) = target. run must replay
-// with the baseline (HostMatching) configuration.
-func (a App) Calibrate(run Runner, probeIters int) (sim.Time, error) {
-	res, err := run(a.Programs(probeIters, 0))
+// with the baseline (HostMatching) configuration. The probe programs are
+// built into buf (nil builds fresh); the caller may reuse the same buffer
+// for its subsequent measured builds — the probe set is consumed before
+// Calibrate returns.
+func (a App) Calibrate(run Runner, probeIters int, buf *mpisim.ProgramBuffer) (sim.Time, error) {
+	res, err := run(a.ProgramsInto(buf, probeIters, 0))
 	if err != nil {
 		return 0, err
 	}

@@ -101,7 +101,7 @@ func TestProgramsRunToCompletion(t *testing.T) {
 
 func TestCalibrateProducesPositiveCompute(t *testing.T) {
 	a := App{Name: "t", Ranks: 4, Dims: []int{2, 2}, HaloBytes: []int{8192, 8192}, TargetP2PFraction: 0.05}
-	d, err := a.Calibrate(Replay(mpisim.DefaultConfig(mpisim.HostMatching)), 4)
+	d, err := a.Calibrate(Replay(mpisim.DefaultConfig(mpisim.HostMatching)), 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,5 +111,70 @@ func TestCalibrateProducesPositiveCompute(t *testing.T) {
 	// 5% target => compute is ~19x the comm time, i.e. clearly dominant.
 	if d < 10*sim.Microsecond {
 		t.Fatalf("calibrated compute %v implausibly small", d)
+	}
+}
+
+// TestNeighborMatchesCoordsReference pins the allocation-free neighbor
+// arithmetic against the coordinate-vector reference implementation it
+// replaced, across every suite decomposition and both directions.
+func TestNeighborMatchesCoordsReference(t *testing.T) {
+	ref := func(rank int, dims []int, dim, delta int) int {
+		c := coords(rank, dims)
+		c[dim] += delta
+		return rankOf(c, dims)
+	}
+	for _, a := range Suite() {
+		for rank := 0; rank < a.Ranks; rank++ {
+			for d := range a.Dims {
+				for _, delta := range []int{+1, -1} {
+					if got, want := neighbor(rank, a.Dims, d, delta), ref(rank, a.Dims, d, delta); got != want {
+						t.Fatalf("%s rank %d dim %d delta %+d: neighbor = %d, reference = %d",
+							a.Name, rank, d, delta, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProgramsIntoReusesBufferWithoutAllocating mirrors the portals pooling
+// tests for the program-set arena: contents are identical to a fresh build,
+// and a warm buffer rebuilds a program set with zero allocations.
+func TestProgramsIntoReusesBufferWithoutAllocating(t *testing.T) {
+	a := Suite()[0]
+	buf := new(mpisim.ProgramBuffer)
+	fresh := a.Programs(6, 3*sim.Microsecond)
+	pooled := a.ProgramsInto(buf, 6, 3*sim.Microsecond)
+	if len(fresh) != len(pooled) {
+		t.Fatalf("rank counts differ: %d vs %d", len(fresh), len(pooled))
+	}
+	for r := range fresh {
+		if len(fresh[r]) != len(pooled[r]) {
+			t.Fatalf("rank %d: op counts differ", r)
+		}
+		for i := range fresh[r] {
+			if fresh[r][i] != pooled[r][i] {
+				t.Fatalf("rank %d op %d: %+v vs %+v", r, i, fresh[r][i], pooled[r][i])
+			}
+		}
+	}
+	// Rebuilding with different parameters into the warm buffer allocates
+	// nothing: the spine and every per-rank slice are reused.
+	if allocs := testing.AllocsPerRun(10, func() {
+		a.ProgramsInto(buf, 6, 5*sim.Microsecond)
+	}); allocs > 0 {
+		t.Fatalf("warm ProgramsInto = %.1f allocs, want 0", allocs)
+	}
+	// A shorter build truncates; a longer one grows once and is then again
+	// allocation-free.
+	short := a.ProgramsInto(buf, 2, sim.Microsecond)
+	if len(short[0]) >= len(fresh[0]) {
+		t.Fatal("shorter build did not truncate")
+	}
+	a.ProgramsInto(buf, 9, sim.Microsecond)
+	if allocs := testing.AllocsPerRun(10, func() {
+		a.ProgramsInto(buf, 9, sim.Microsecond)
+	}); allocs > 0 {
+		t.Fatalf("regrown ProgramsInto = %.1f allocs, want 0", allocs)
 	}
 }

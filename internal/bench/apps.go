@@ -26,15 +26,19 @@ type AppResult struct {
 }
 
 // RunApp replays one application with both protocol engines, drawing the
-// engines from the Env's replay-engine cache (a nil Env builds them fresh
-// per run, the pre-reuse behaviour).
+// engines from the Env's replay-engine cache and building every program set
+// into the Env's grow-only program buffer (a nil Env builds everything
+// fresh per run, the pre-reuse behaviour). The build→run cycle is strictly
+// sequential — each program set is fully replayed before the buffer is
+// rebuilt — which is what the buffer's ownership contract requires.
 func RunApp(e *Env, a apps.App, iterations int) (AppResult, error) {
+	buf := e.programBuffer()
 	baseRun := e.mpiRunner(mpisim.DefaultConfig(mpisim.HostMatching))
-	compute, err := a.Calibrate(baseRun, 8)
+	compute, err := a.Calibrate(baseRun, 8, buf)
 	if err != nil {
 		return AppResult{}, err
 	}
-	progs := a.Programs(iterations, compute)
+	progs := a.ProgramsInto(buf, iterations, compute)
 
 	base, err := baseRun(progs)
 	if err != nil {
@@ -45,7 +49,7 @@ func RunApp(e *Env, a apps.App, iterations int) (AppResult, error) {
 	// compute phase toward the paper's reported overhead and re-run.
 	if got := base.OverheadFraction(a.Ranks); got > 0.001 && got < a.TargetP2PFraction {
 		compute = sim.Time(float64(compute) * got / a.TargetP2PFraction)
-		progs = a.Programs(iterations, compute)
+		progs = a.ProgramsInto(buf, iterations, compute)
 		base, err = baseRun(progs)
 		if err != nil {
 			return AppResult{}, err

@@ -22,6 +22,25 @@ func binomialChildren(rank, nprocs int) []int {
 	return out
 }
 
+// binomialKids is binomialChildren carved from the Env's grow-only arena:
+// a broadcast point builds one child list per rank (nprocs-1 entries in
+// total across the tree), so a warm Env arms a whole tree without
+// allocating. The lists are valid until the point's resetScratch. If the
+// arena grows mid-point, earlier lists keep the old backing array — still
+// valid, never aliased.
+func (e *Env) binomialKids(rank, nprocs int) []int {
+	if e == nil {
+		return binomialChildren(rank, nprocs)
+	}
+	start := len(e.kids)
+	for half := nprocs / 2; half >= 1; half /= 2 {
+		if rank%(half*2) == 0 && rank+half < nprocs {
+			e.kids = append(e.kids, rank+half)
+		}
+	}
+	return e.kids[start:len(e.kids):len(e.kids)]
+}
+
 // BroadcastTime measures a binomial-tree broadcast of size bytes to nprocs
 // ranks (§4.4.3, Fig. 5a): the time until the last rank holds the data.
 func BroadcastTime(p netsim.Params, v Variant, nprocs, size int) (sim.Time, error) {
@@ -32,6 +51,7 @@ func broadcastTime(e *Env, p netsim.Params, v Variant, nprocs, size int) (sim.Ti
 	// Deep trees queue many forwarded packets per HPU; give the portal a
 	// generous flow budget so the measurement reflects latency, not drops.
 	p.FlowDeadline = 10 * sim.Millisecond
+	e.resetScratch()
 	c, nis, err := e.cluster(nprocs, p)
 	if err != nil {
 		return 0, err
@@ -54,10 +74,14 @@ func broadcastTime(e *Env, p netsim.Params, v Variant, nprocs, size int) (sim.Ti
 		if r == 0 {
 			continue // the root only sends
 		}
-		eq := portals.NewEQ(c.Eng)
-		ct := portals.NewCT(c.Eng)
-		me := &portals.ME{MatchBits: 7, EQ: eq, CT: ct}
-		children := binomialChildren(r, nprocs)
+		// Queues, counters, and entries come from per-NI / per-Env pools:
+		// a broadcast point rebuilds its whole rig, so a warm sweep arms
+		// trees without allocating.
+		eq := nis[r].NewEQ()
+		ct := nis[r].NewCT()
+		me := e.allocME()
+		me.MatchBits, me.EQ, me.CT = 7, eq, ct
+		children := e.binomialKids(r, nprocs)
 		switch v {
 		case RDMA:
 			cpu := hostsim.New(c, r, noise.None())
@@ -109,8 +133,9 @@ func broadcastTime(e *Env, p netsim.Params, v Variant, nprocs, size int) (sim.Ti
 			}
 			me.HPUMem = mem
 			// Handlers deposit each rank's copy via DMA, so the ME needs
-			// a real host region for the write timing to be charged.
-			me.Start = make([]byte, size)
+			// a real host region for the write timing to be charged; the
+			// regions come from the Env arena (timing-only contents).
+			me.Start = e.hostMem(size)
 			me.Handlers = handlers.Bcast(handlers.BcastConfig{
 				MyRank: r, NProcs: nprocs, PT: 0, Bits: 7,
 				Streaming: true, MaxSize: maxSize,
@@ -133,7 +158,7 @@ func broadcastTime(e *Env, p netsim.Params, v Variant, nprocs, size int) (sim.Ti
 
 	// Root: sequential host posts to its binomial children (each pays o).
 	var t sim.Time
-	for _, child := range binomialChildren(0, nprocs) {
+	for _, child := range e.binomialKids(0, nprocs) {
 		var err error
 		t, err = nis[0].Put(t, portals.PutArgs{
 			Length: size, NoData: true, Target: child, PTIndex: 0, MatchBits: 7,

@@ -174,7 +174,11 @@ func TestBroadcastOrderingAndScaling(t *testing.T) {
 
 func TestStridedReceiveShape(t *testing.T) {
 	p := netsim.Integrated()
-	// RDMA is flat in blocksize.
+	// RDMA varies mildly with blocksize (the paper's 8.7-11.4 GiB/s band:
+	// per-block boundary overhead, see hostsim.CPU.StridedCopy) — slower
+	// at tiny blocks, never by more than the band's ~1.31x ratio. The
+	// endpoint calibration itself is pinned by
+	// TestFig7aRDMACurveSpansPaperRange.
 	r16, err := StridedReceiveTime(p, false, 16)
 	if err != nil {
 		t.Fatal(err)
@@ -183,8 +187,11 @@ func TestStridedReceiveShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diff := float64(r16-r4k) / float64(r4k); diff > 0.02 || diff < -0.02 {
-		t.Fatalf("RDMA not flat: %v vs %v", r16, r4k)
+	if r16 <= r4k {
+		t.Fatalf("RDMA should slow down at tiny blocks: %v vs %v", r16, r4k)
+	}
+	if ratio := float64(r16) / float64(r4k); ratio > 1.35 {
+		t.Fatalf("RDMA blocksize sensitivity too strong: %v vs %v (%.2fx)", r16, r4k, ratio)
 	}
 	// sPIN: small blocks dominated by per-transaction DMA overhead,
 	// large blocks near line rate and well below RDMA.

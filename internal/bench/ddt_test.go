@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// rdmaGiBps reproduces the RDMA column's bandwidth arithmetic for one
+// blocksize.
+func rdmaGiBps(t *testing.T, blocksize int) float64 {
+	t.Helper()
+	d, err := StridedReceiveTime(netsim.Integrated(), false, blocksize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(DDTTotalBytes) / (d.Seconds() * float64(1<<30))
+}
+
+// TestFig7aRDMACurveSpansPaperRange pins the StridedCopy recalibration: the
+// paper reports the RDMA unpack varying between 8.7 and 11.4 GiB/s with
+// blocksize (§5.2, Fig. 7a) — the old per-byte-only model produced a
+// perfectly flat line. The curve must be monotone (larger blocks, fewer
+// boundary penalties, more bandwidth) and hit the paper's endpoints.
+func TestFig7aRDMACurveSpansPaperRange(t *testing.T) {
+	sizes := Fig7aBlocksizes()
+	prev := 0.0
+	for _, b := range sizes {
+		got := rdmaGiBps(t, b)
+		if got < prev {
+			t.Fatalf("RDMA bandwidth not monotone: %.3f GiB/s at blocksize %d after %.3f", got, b, prev)
+		}
+		prev = got
+	}
+	if low := rdmaGiBps(t, sizes[0]); low < 8.6 || low > 8.8 {
+		t.Fatalf("blocksize %d endpoint = %.3f GiB/s, want ~8.7 (paper's lower endpoint)", sizes[0], low)
+	}
+	if high := rdmaGiBps(t, sizes[len(sizes)-1]); high < 11.3 || high > 11.5 {
+		t.Fatalf("blocksize %d endpoint = %.3f GiB/s, want ~11.4 (paper's upper endpoint)", sizes[len(sizes)-1], high)
+	}
+}

@@ -36,8 +36,21 @@ type Env struct {
 	// raidsim.System.Reset) under the same reset-equals-fresh contract.
 	mpis  map[mpiKey]*mpisim.Engine
 	raids map[raidKey]*raidsim.System
-	// scratch is the grow-only host-memory region hostMem slices from.
-	scratch []byte
+	// scratch is the grow-only host-memory arena hostMem carves from and
+	// scratchOff the carve cursor, rewound by resetScratch at the start of
+	// each measurement point that uses it.
+	scratch    []byte
+	scratchOff int
+	// kids is the grow-only arena binomialKids carves child lists from,
+	// likewise rewound per point.
+	kids []int
+	// mes and mesOff form the matching-entry arena behind allocME.
+	mes    []portals.ME
+	mesOff int
+	// progs is the grow-only program buffer the Table 5c replays build rank
+	// programs into (apps.App.ProgramsInto), so a sweep constructs op
+	// slices once per worker instead of once per replay.
+	progs *mpisim.ProgramBuffer
 }
 
 // envKey identifies a cluster configuration by value. netsim.Params is
@@ -182,19 +195,82 @@ func replayTrace(e *Env, p netsim.Params, spin bool, recs []spctrace.Record) (si
 	return sys.Replay(recs)
 }
 
+// resetScratch rewinds the Env's point-scoped arenas (hostMem regions and
+// binomialKids lists). Experiments that draw from either arena call it once
+// at the start of each measurement point; regions carved before the rewind
+// must no longer be in use. Nil-safe.
+func (e *Env) resetScratch() {
+	if e != nil {
+		e.scratchOff = 0
+		e.kids = e.kids[:0]
+		e.mesOff = 0
+	}
+}
+
+// allocME returns a zeroed matching entry from the Env's grow-only arena.
+// Entries are valid for the current measurement point: rewinding the arena
+// reuses their slots, which is safe because the only references that
+// outlive a point live in portal-table lists of Env-cached clusters, and
+// those lists are truncated (without dereferencing the entries) by the
+// cluster Reset that precedes any reuse. A nil Env allocates fresh. Like
+// hostMem, growing the arena leaves earlier entries on the old backing
+// array, so live pointers never move.
+func (e *Env) allocME() *portals.ME {
+	if e == nil {
+		return new(portals.ME)
+	}
+	if e.mesOff == len(e.mes) {
+		grow := 2 * len(e.mes)
+		if grow < 64 {
+			grow = 64
+		}
+		e.mes = make([]portals.ME, grow)
+		e.mesOff = 0
+	}
+	me := &e.mes[e.mesOff]
+	e.mesOff++
+	*me = portals.ME{}
+	return me
+}
+
 // hostMem returns an n-byte scratch host-memory region for timing-only
-// MEs, growing (and thereafter reusing) one per-Env buffer instead of
-// allocating per measurement point. Contents are unspecified — callers
-// must be NoData/timing-only — and at most one region may be live per
-// point. A nil Env allocates fresh, like every other Env helper.
+// MEs, carved from a grow-only per-Env arena instead of allocated per
+// measurement point. Contents are unspecified — callers must be
+// NoData/timing-only. Regions are valid for the current point (until the
+// next resetScratch); several may be live at once (the broadcast sweeps
+// carve one per rank). A nil Env allocates fresh, like every other Env
+// helper. When the arena must grow mid-point, previously carved regions
+// keep the old backing array, so they stay valid and distinct.
 func (e *Env) hostMem(n int) []byte {
 	if e == nil {
 		return make([]byte, n)
 	}
-	if cap(e.scratch) < n {
-		e.scratch = make([]byte, n)
+	need := e.scratchOff + n
+	if cap(e.scratch) < need {
+		grow := 2 * cap(e.scratch)
+		if grow < n {
+			grow = n
+		}
+		e.scratch = make([]byte, grow)
+		e.scratchOff = 0
+		need = n
 	}
-	return e.scratch[:n]
+	s := e.scratch[e.scratchOff:need:need]
+	e.scratchOff = need
+	return s
+}
+
+// programBuffer returns the Env's grow-only mpisim program buffer (nil on
+// a nil Env — apps.App.ProgramsInto then builds fresh storage, the
+// pre-reuse behaviour).
+func (e *Env) programBuffer() *mpisim.ProgramBuffer {
+	if e == nil {
+		return nil
+	}
+	if e.progs == nil {
+		e.progs = new(mpisim.ProgramBuffer)
+	}
+	return e.progs
 }
 
 // Budget is a shared bound on the number of simulation points executing at

@@ -33,17 +33,15 @@ func buildExperiment(t *testing.T, id string) Experiment {
 // sharded parallel runner. The list covers every reuse mechanism: fig3b
 // and fig5a exercise the cluster cache, table5c the mpisim engine cache,
 // spc the raidsim system cache, and fig7a the non-zeroed Env.hostMem
-// scratch region (at a deeper subsample — it is the slowest experiment and
-// the equality property does not depend on resolution). scripts/check.sh
-// runs this test as the merge gate — a nondeterministic merge or a stale
-// field missed by a Reset shows up here as a byte diff.
+// scratch region plus the vectorized scatter path (both columns, so the
+// sPIN column's bit-identity contract is pinned here too — since PR 5's
+// vectorized scatter it runs at the common subsample in well under a
+// second). scripts/check.sh runs this test as the merge gate — a
+// nondeterministic merge or a stale field missed by a Reset shows up here
+// as a byte diff.
 func TestSweepResetAndParallelDeterminism(t *testing.T) {
-	scales := map[string]int{"fig7a": 8}
 	for _, id := range []string{"fig3b", "fig5a", "table5c", "spc", "fig7a"} {
-		scale := scales[id]
-		if scale == 0 {
-			scale = 4
-		}
+		scale := 4
 		exp := buildExperiment(t, id)
 		freshTab, err := exp.Build(scale).RunFresh()
 		if err != nil {

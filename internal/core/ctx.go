@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/datatype"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 )
@@ -188,6 +189,62 @@ func (c *Ctx) DMAToHostB(local []byte, offset int64, space MemSpace) {
 	}
 }
 
+// DMAToHostVec scatters the packed bytes local (stream range [streamOff,
+// streamOff+len(local)) of the vector layout v, or a timing-only scatter of
+// n bytes when local is nil) into host memory at base, as a vectorized DMA
+// issue: one descriptor chain whose per-transaction cost — perSegCycles of
+// address arithmetic plus CostDMAIssue of descriptor programming plus the
+// transaction's bus occupancy, per touched block — is charged exactly as a
+// block-at-a-time DMAToHostB loop would charge it. Each transaction is a
+// separate bus reservation, so concurrent initiators interleave with the
+// chain precisely as they would with discrete writes: the determinism
+// contract (ARCHITECTURE.md) requires the vectorized path to be
+// time-indistinguishable from the loop it replaces. What the vectorization
+// removes is the simulator-side cost: no per-segment []datatype.Segment
+// materialization, no per-segment handler bookkeeping, no copies for
+// timing-only (nil local) scatters.
+//
+// Bounds are validated up front against the layout's host span (segment
+// offsets are monotone for Stride >= Blocksize); a violation records the
+// action error and issues nothing — unlike a hand-rolled loop, a chain
+// never partially lands.
+func (c *Ctx) DMAToHostVec(local []byte, v datatype.Vector, streamOff, n int, base int64, space MemSpace, perSegCycles int64) {
+	if local != nil {
+		n = len(local)
+	}
+	nsegs, bytes, _, _ := v.SegmentStats(streamOff, n)
+	if nsegs == 0 {
+		return
+	}
+	buf := c.hostSpace(space)
+	first := base + v.HostOffset(streamOff)
+	last := base + v.HostOffset(streamOff+bytes-1) + 1
+	if first < 0 || last > int64(len(buf)) {
+		c.fail(fmt.Errorf("core: DMAToHostVec [%d,%d) outside host region of %d bytes", first, last, len(buf)))
+		return
+	}
+	bus := c.rt.Node.Bus
+	rec := c.rt.C.Rec.Enabled()
+	pos := 0
+	v.ForEachSegment(streamOff, bytes, func(off int64, ln int) bool {
+		c.Charge(perSegCycles)
+		c.Charge(CostDMAIssue)
+		free, visible := bus.Write(c.now, ln)
+		if local != nil {
+			copy(buf[base+off:], local[pos:pos+ln])
+			pos += ln
+		}
+		if rec {
+			c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, visible, "wr")
+		}
+		c.now = free
+		if visible > c.lastVisible {
+			c.lastVisible = visible
+		}
+		return true
+	})
+}
+
 // DMAFromHostB copies host memory at offset into local (blocking read:
 // PtlHandlerDMAFromHostB). The HPU blocks for two bus latencies plus the
 // transfer, per §4.3.
@@ -204,12 +261,15 @@ func (c *Ctx) DMAFromHostB(offset int64, local []byte, space MemSpace) {
 }
 
 // DMAToHostNB is the nonblocking variant of DMAToHostB; the returned handle
-// completes when the data is visible in host memory.
-func (c *Ctx) DMAToHostNB(local []byte, offset int64, space MemSpace) *DMAHandle {
+// completes when the data is visible in host memory. Handles are plain
+// values — keep them on the handler's stack (they are only meaningful
+// within the invocation that issued them), so discarding one, as
+// fire-and-forget deposits do, costs nothing.
+func (c *Ctx) DMAToHostNB(local []byte, offset int64, space MemSpace) DMAHandle {
 	c.Charge(CostDMAIssue + CostDMAHandle)
 	buf := c.hostSpace(space)
 	if !c.checkRange(buf, offset, len(local), "DMAToHostNB") {
-		return &DMAHandle{done: c.now}
+		return DMAHandle{done: c.now}
 	}
 	_, visible := c.rt.Node.Bus.Write(c.now, len(local))
 	copy(buf[offset:], local)
@@ -217,21 +277,21 @@ func (c *Ctx) DMAToHostNB(local []byte, offset int64, space MemSpace) *DMAHandle
 	if visible > c.lastVisible {
 		c.lastVisible = visible
 	}
-	return &DMAHandle{done: visible}
+	return DMAHandle{done: visible}
 }
 
 // DMAFromHostNB is the nonblocking variant of DMAFromHostB. The simulation
-// performs the data copy eagerly; timing is carried by the handle.
-func (c *Ctx) DMAFromHostNB(offset int64, local []byte, space MemSpace) *DMAHandle {
+// performs the data copy eagerly; timing is carried by the (value) handle.
+func (c *Ctx) DMAFromHostNB(offset int64, local []byte, space MemSpace) DMAHandle {
 	c.Charge(CostDMAIssue + CostDMAHandle)
 	buf := c.hostSpace(space)
 	if !c.checkRange(buf, offset, len(local), "DMAFromHostNB") {
-		return &DMAHandle{done: c.now}
+		return DMAHandle{done: c.now}
 	}
 	ready := c.rt.Node.Bus.Read(c.now, len(local))
 	copy(local, buf[offset:])
 	c.rt.C.Rec.Record(c.rt.Node.Rank, "DMA", c.now, ready, "rd-nb")
-	return &DMAHandle{done: ready}
+	return DMAHandle{done: ready}
 }
 
 // DMATest reports whether a nonblocking DMA has completed (PtlHandlerDMATest).
@@ -400,12 +460,12 @@ func (c *Ctx) PutFromHost(space MemSpace, offset int64, length int, target, ptIn
 // Requires the Portals layer to provide the MEContext.IssueGet plumbing.
 func (c *Ctx) Get(req GetRequest) error {
 	c.Charge(CostGet)
-	if c.me.IssueGet == nil {
+	if !c.me.hasIssueGet() {
 		err := fmt.Errorf("core: Get issued but no IssueGet plumbing installed")
 		c.fail(err)
 		return err
 	}
-	c.me.IssueGet(c.now, req)
+	c.me.issueGet(c.now, req)
 	return nil
 }
 
@@ -413,9 +473,7 @@ func (c *Ctx) Get(req GetRequest) error {
 // (PtlHandlerCTInc), if the upper layer installed one.
 func (c *Ctx) CTInc(n uint64) {
 	c.Charge(CostAtomic)
-	if c.me.OnCTInc != nil {
-		c.me.OnCTInc(c.now, n)
-	}
+	c.me.ctInc(c.now, n)
 }
 
 // SteerTo overrides the offset at which this message's default action

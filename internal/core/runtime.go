@@ -7,10 +7,26 @@ import (
 	"repro/internal/sim"
 )
 
+// MEOwner receives a matching entry's upcalls as a single interface — the
+// closure-free alternative to MEContext's function fields. A layer that
+// installs many entries (Portals) implements it once on its entry type and
+// stores itself in MEContext.Owner, so building a context allocates neither
+// a closure per callback nor the context itself (it can embed by value).
+type MEOwner interface {
+	// MEComplete delivers the message result (event queue / counter
+	// updates).
+	MEComplete(now sim.Time, r MessageResult)
+	// MECTInc propagates PtlHandlerCTInc to the entry's counter.
+	MECTInc(now sim.Time, n uint64)
+	// MEIssueGet sends a handler get through the owning layer.
+	MEIssueGet(now sim.Time, req GetRequest)
+}
+
 // MEContext is everything the runtime needs to process messages matched to
 // one sPIN-enabled matching entry: the handlers, the HPU shared memory, the
 // host memory windows, and callbacks into the layer above (Portals event
-// queues, counters, and get plumbing).
+// queues, counters, and get plumbing). Upcalls dispatch to the function
+// fields when set, else to Owner; either (or both) may be nil.
 type MEContext struct {
 	Handlers HandlerSet
 	// State is the HPU shared memory handle (PtlHPUAllocMem); may be nil
@@ -20,6 +36,9 @@ type MEContext struct {
 	HostMem []byte
 	// HandlerHostMem is the optional extra host region for handler output.
 	HandlerHostMem []byte
+	// Owner receives the upcalls below when the corresponding function
+	// field is nil; the allocation-free form.
+	Owner MEOwner
 	// OnComplete delivers the message result to the upper layer (event
 	// queue / counter updates). May be nil.
 	OnComplete func(now sim.Time, r MessageResult)
@@ -28,6 +47,41 @@ type MEContext struct {
 	// IssueGet sends a handler get through the Portals layer. May be nil
 	// when handlers never call Get.
 	IssueGet func(now sim.Time, req GetRequest)
+}
+
+// hasComplete reports whether a completion upcall is installed.
+func (me *MEContext) hasComplete() bool { return me.OnComplete != nil || me.Owner != nil }
+
+// complete dispatches the completion upcall.
+func (me *MEContext) complete(now sim.Time, r MessageResult) {
+	if me.OnComplete != nil {
+		me.OnComplete(now, r)
+		return
+	}
+	me.Owner.MEComplete(now, r)
+}
+
+// ctInc dispatches a PtlHandlerCTInc upcall, if any is installed.
+func (me *MEContext) ctInc(now sim.Time, n uint64) {
+	if me.OnCTInc != nil {
+		me.OnCTInc(now, n)
+		return
+	}
+	if me.Owner != nil {
+		me.Owner.MECTInc(now, n)
+	}
+}
+
+// hasIssueGet reports whether handler gets can be plumbed.
+func (me *MEContext) hasIssueGet() bool { return me.IssueGet != nil || me.Owner != nil }
+
+// issueGet dispatches a handler get.
+func (me *MEContext) issueGet(now sim.Time, req GetRequest) {
+	if me.IssueGet != nil {
+		me.IssueGet(now, req)
+		return
+	}
+	me.Owner.MEIssueGet(now, req)
 }
 
 // msgState tracks one in-flight message on the NIC. After the last packet
@@ -59,9 +113,9 @@ type msgState struct {
 // callback may start processing new messages.
 func runOnComplete(a any) {
 	ms := a.(*msgState)
-	rt, done, res := ms.rt, ms.me.OnComplete, ms.res
+	rt, me, res := ms.rt, ms.me, ms.res
 	rt.freeMsgState(ms)
-	done(rt.C.Eng.Now(), res)
+	me.complete(rt.C.Eng.Now(), res)
 }
 
 // Runtime is the per-NIC sPIN runtime: it owns the HPU contexts and HPU
@@ -436,7 +490,7 @@ func (rt *Runtime) maybeComplete(ms *msgState) {
 			end = ms.lastEnd
 		}
 	}
-	if ms.me.OnComplete != nil {
+	if ms.me.hasComplete() {
 		// Copy the header fields out of the wire message: the result is
 		// delivered by a deferred event, and the transport recycles pooled
 		// messages as soon as this (final) dispatch returns. The msgState

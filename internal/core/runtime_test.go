@@ -453,11 +453,11 @@ func TestNonblockingDMAAndWait(t *testing.T) {
 		Handlers: HandlerSet{
 			Header: func(c *Ctx, h Header) HeaderRC {
 				hdl := c.DMAToHostNB([]byte{1, 2, 3, 4}, 0, MEHostMem)
-				if c.DMATest(hdl) {
+				if c.DMATest(&hdl) {
 					t.Error("write visible immediately; should take L")
 				}
-				c.DMAWait(hdl)
-				if !c.DMATest(hdl) {
+				c.DMAWait(&hdl)
+				if !c.DMATest(&hdl) {
 					t.Error("DMA incomplete after wait")
 				}
 				return Proceed

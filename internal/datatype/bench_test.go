@@ -1,0 +1,44 @@
+package datatype
+
+import "testing"
+
+var scatterSink int64
+
+// BenchmarkVectorScatter is the per-packet work of the Fig. 7a datatype
+// payload handler at its worst case (16-byte blocks, one MTU of stream):
+// the closed-form stats plus the allocation-free segment walk. The budget
+// is 0 allocs/op — gated by make bench-micro and TestVectorScatterAllocFree
+// — because this runs once per packet on the simulator's hottest path.
+func BenchmarkVectorScatter(b *testing.B) {
+	v := Vector{Blocksize: 16, Stride: 32, Count: 1 << 18}
+	const mtu = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		off := (i % 1024) * mtu
+		nsegs, bytes, _, _ := v.SegmentStats(off, mtu)
+		var sum int64
+		v.ForEachSegment(off, mtu, func(so int64, ln int) bool {
+			sum += so + int64(ln)
+			return true
+		})
+		scatterSink = sum + int64(nsegs) + int64(bytes)
+	}
+}
+
+// TestVectorScatterAllocFree pins the 0 allocs/op budget in the regular
+// test suite, so a regression (an escaping closure, a materialized slice)
+// fails `go test` and not just a benchmark inspection.
+func TestVectorScatterAllocFree(t *testing.T) {
+	v := Vector{Blocksize: 16, Stride: 32, Count: 1 << 18}
+	got := testing.AllocsPerRun(100, func() {
+		var sum int64
+		v.ForEachSegment(0, 4096, func(so int64, ln int) bool {
+			sum += so + int64(ln)
+			return true
+		})
+		scatterSink = sum
+	})
+	if got != 0 {
+		t.Fatalf("vector scatter walk = %.1f allocs/op, want 0", got)
+	}
+}

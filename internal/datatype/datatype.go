@@ -1,9 +1,11 @@
 // Package datatype implements MPI-style derived datatypes (§5.2): the O(1)
 // strided vector description ⟨start, stride, blocksize, count⟩, contiguous
 // types, and O(n) iovec lists, together with the pack/unpack machinery the
-// datatype experiments use. The central operation is Segments: mapping a
-// range of the packed byte stream onto host-memory segments — exactly the
-// computation the sPIN payload handler performs per packet (Fig. 6).
+// datatype experiments use. The central operation is mapping a range of the
+// packed byte stream onto host-memory segments — exactly the computation the
+// sPIN payload handler performs per packet (Fig. 6). Hot paths use the
+// allocation-free visitor ForEachSegment and the closed-form SegmentCount /
+// SegmentStats; Segments is the convenience form that materializes a slice.
 package datatype
 
 import "fmt"
@@ -23,6 +25,13 @@ type Type interface {
 	// Segments maps packed-stream range [off, off+n) to host segments,
 	// in stream order.
 	Segments(off int, n int) []Segment
+	// SegmentCount returns len(Segments(off, n)) without materializing
+	// the slice; O(1) for Vector and Contiguous.
+	SegmentCount(off int, n int) int
+	// ForEachSegment visits the segments of Segments(off, n) in stream
+	// order without allocating. The visit stops early when fn returns
+	// false. fn must not retain references past the call.
+	ForEachSegment(off int, n int, fn func(off int64, length int) bool)
 }
 
 // Contiguous is a flat run of bytes.
@@ -40,6 +49,22 @@ func (c Contiguous) Segments(off, n int) []Segment {
 		return nil
 	}
 	return []Segment{{Offset: int64(off), Length: n}}
+}
+
+// SegmentCount implements Type.
+func (c Contiguous) SegmentCount(off, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 1
+}
+
+// ForEachSegment implements Type.
+func (c Contiguous) ForEachSegment(off, n int, fn func(off int64, length int) bool) {
+	if n <= 0 {
+		return
+	}
+	fn(int64(off), n)
 }
 
 // Vector is the MPI vector type: Count blocks of Blocksize bytes, the start
@@ -61,8 +86,20 @@ func (v Vector) Validate() error {
 	return nil
 }
 
-// Size implements Type.
-func (v Vector) Size() int { return v.Blocksize * v.Count }
+// maxInt is the largest value representable in the platform's int.
+const maxInt = int64(^uint(0) >> 1)
+
+// Size implements Type. The Blocksize×Count product is computed in int64
+// and saturates at the platform's int range, so oversized descriptors (a
+// huge Count on a 32-bit platform) degrade to a clamped size instead of
+// silently overflowing.
+func (v Vector) Size() int {
+	b, n := int64(v.Blocksize), int64(v.Count)
+	if b > 0 && n > 0 && n > maxInt/b {
+		return int(maxInt)
+	}
+	return int(b * n)
+}
 
 // Extent implements Type.
 func (v Vector) Extent() int64 {
@@ -72,31 +109,108 @@ func (v Vector) Extent() int64 {
 	return int64(v.Stride)*int64(v.Count-1) + int64(v.Blocksize)
 }
 
+// clampRange truncates [off, off+n) to the vector's stream and reports
+// whether anything remains. All arithmetic is int64 so a clamped Size never
+// re-enters 32-bit range trouble.
+func (v Vector) clampRange(off, n int) (int64, int64, bool) {
+	if v.Blocksize <= 0 || v.Count <= 0 || off < 0 || n <= 0 {
+		return 0, 0, false
+	}
+	rem := int64(v.Size()) - int64(off)
+	if rem <= 0 {
+		return 0, 0, false
+	}
+	take := int64(n)
+	if take > rem {
+		take = rem
+	}
+	return int64(off), take, true
+}
+
 // Segments implements Type. It mirrors the paper's ddtvec payload handler
 // (Appendix C.3.4): stream offsets map to (block, offset-in-block) pairs.
 func (v Vector) Segments(off, n int) []Segment {
-	if max := v.Size() - off; n > max {
-		n = max
-	}
-	if n <= 0 {
+	nsegs := v.SegmentCount(off, n)
+	if nsegs == 0 {
 		return nil
 	}
-	var segs []Segment
-	for n > 0 {
-		block := off / v.Blocksize
-		inBlock := off % v.Blocksize
-		take := v.Blocksize - inBlock
-		if take > n {
-			take = n
-		}
-		segs = append(segs, Segment{
-			Offset: int64(block)*int64(v.Stride) + int64(inBlock),
-			Length: take,
-		})
-		off += take
-		n -= take
-	}
+	segs := make([]Segment, 0, nsegs)
+	v.ForEachSegment(off, n, func(o int64, ln int) bool {
+		segs = append(segs, Segment{Offset: o, Length: ln})
+		return true
+	})
 	return segs
+}
+
+// SegmentCount implements Type in O(1): the number of blocks the stream
+// range [off, off+n) touches.
+func (v Vector) SegmentCount(off, n int) int {
+	pos, take, ok := v.clampRange(off, n)
+	if !ok {
+		return 0
+	}
+	b := int64(v.Blocksize)
+	first := pos / b
+	last := (pos + take - 1) / b
+	return int(last - first + 1)
+}
+
+// SegmentStats returns, in O(1), the aggregate shape of Segments(off, n):
+// the segment count, the total byte count, and the first and last segment
+// lengths. Interior segments (when nsegs > 2) are all full Blocksize
+// blocks; when nsegs == 1 first and last describe the same segment. The
+// batched DMA path (core.Ctx.DMAToHostVec) prices a packet's scatter from
+// these numbers alone.
+func (v Vector) SegmentStats(off, n int) (nsegs, bytes, firstLen, lastLen int) {
+	pos, take, ok := v.clampRange(off, n)
+	if !ok {
+		return 0, 0, 0, 0
+	}
+	b := int64(v.Blocksize)
+	firstBlock := pos / b
+	lastByte := pos + take - 1
+	lastBlock := lastByte / b
+	nsegs = int(lastBlock - firstBlock + 1)
+	first := b - pos%b
+	if first > take {
+		first = take
+	}
+	if nsegs == 1 {
+		return 1, int(take), int(first), int(first)
+	}
+	last := lastByte%b + 1
+	return nsegs, int(take), int(first), int(last)
+}
+
+// HostOffset returns the host offset of stream position off — the start of
+// the segment ForEachSegment(off, ...) would visit first.
+func (v Vector) HostOffset(off int) int64 {
+	b := int64(v.Blocksize)
+	return (int64(off)/b)*int64(v.Stride) + int64(off)%b
+}
+
+// ForEachSegment implements Type without allocating: the closed-form walk
+// of the paper's ddtvec handler, one callback per touched block.
+func (v Vector) ForEachSegment(off, n int, fn func(off int64, length int) bool) {
+	pos, rem, ok := v.clampRange(off, n)
+	if !ok {
+		return
+	}
+	b := int64(v.Blocksize)
+	stride := int64(v.Stride)
+	for rem > 0 {
+		block := pos / b
+		inBlock := pos % b
+		take := b - inBlock
+		if take > rem {
+			take = rem
+		}
+		if !fn(block*stride+inBlock, int(take)) {
+			return
+		}
+		pos += take
+		rem -= take
+	}
 }
 
 // Iovec is an explicit O(n) gather/scatter list, the representation used by
@@ -126,9 +240,28 @@ func (io Iovec) Extent() int64 {
 // Segments implements Type.
 func (io Iovec) Segments(off, n int) []Segment {
 	var segs []Segment
+	io.ForEachSegment(off, n, func(o int64, ln int) bool {
+		segs = append(segs, Segment{Offset: o, Length: ln})
+		return true
+	})
+	return segs
+}
+
+// SegmentCount implements Type (O(len(io))).
+func (io Iovec) SegmentCount(off, n int) int {
+	count := 0
+	io.ForEachSegment(off, n, func(int64, int) bool {
+		count++
+		return true
+	})
+	return count
+}
+
+// ForEachSegment implements Type without allocating.
+func (io Iovec) ForEachSegment(off, n int, fn func(off int64, length int) bool) {
 	for _, s := range io {
 		if n <= 0 {
-			break
+			return
 		}
 		if off >= s.Length {
 			off -= s.Length
@@ -138,11 +271,12 @@ func (io Iovec) Segments(off, n int) []Segment {
 		if take > n {
 			take = n
 		}
-		segs = append(segs, Segment{Offset: s.Offset + int64(off), Length: take})
+		if !fn(s.Offset+int64(off), take) {
+			return
+		}
 		n -= take
 		off = 0
 	}
-	return segs
 }
 
 // FromVector converts a vector into its equivalent iovec.
@@ -158,9 +292,10 @@ func FromVector(v Vector) Iovec {
 // buffer.
 func Pack(host []byte, t Type, start int64) []byte {
 	out := make([]byte, 0, t.Size())
-	for _, s := range t.Segments(0, t.Size()) {
-		out = append(out, host[start+s.Offset:start+s.Offset+int64(s.Length)]...)
-	}
+	t.ForEachSegment(0, t.Size(), func(off int64, ln int) bool {
+		out = append(out, host[start+off:start+off+int64(ln)]...)
+		return true
+	})
 	return out
 }
 
@@ -168,8 +303,9 @@ func Pack(host []byte, t Type, start int64) []byte {
 // into host memory laid out by the type starting at start.
 func Unpack(host []byte, t Type, start int64, stream []byte, streamOff int) {
 	pos := 0
-	for _, s := range t.Segments(streamOff, len(stream)) {
-		copy(host[start+s.Offset:], stream[pos:pos+s.Length])
-		pos += s.Length
-	}
+	t.ForEachSegment(streamOff, len(stream), func(off int64, ln int) bool {
+		copy(host[start+off:], stream[pos:pos+ln])
+		pos += ln
+		return true
+	})
 }

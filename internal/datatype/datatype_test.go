@@ -170,3 +170,101 @@ func TestPackUnpackProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: the allocation-free visitor and the closed-form counts agree
+// with the materialized Segments slice for every type kind.
+func TestVisitorMatchesSegmentsProperty(t *testing.T) {
+	f := func(bs, gap, cnt, off, n uint8) bool {
+		v := Vector{Blocksize: int(bs%64) + 1, Count: int(cnt%32) + 1}
+		v.Stride = v.Blocksize + int(gap%64)
+		size := v.Size()
+		o := int(off) % (size + 8) // probe past the end too
+		m := int(n)
+		for _, typ := range []Type{v, FromVector(v), Contiguous{N: size}} {
+			want := typ.Segments(o, m)
+			if typ.SegmentCount(o, m) != len(want) {
+				return false
+			}
+			var got []Segment
+			typ.ForEachSegment(o, m, func(so int64, ln int) bool {
+				got = append(got, Segment{Offset: so, Length: ln})
+				return true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		// Early termination stops the walk.
+		visits := 0
+		v.ForEachSegment(0, size, func(int64, int) bool {
+			visits++
+			return visits < 2
+		})
+		if want := v.SegmentCount(0, size); visits != 2 && want > 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SegmentStats matches the materialized segments in O(1).
+func TestSegmentStatsProperty(t *testing.T) {
+	f := func(bs, gap, cnt, off, n uint8) bool {
+		v := Vector{Blocksize: int(bs%64) + 1, Count: int(cnt%32) + 1}
+		v.Stride = v.Blocksize + int(gap%64)
+		o := int(off) % (v.Size() + 4)
+		m := int(n)
+		segs := v.Segments(o, m)
+		nsegs, total, first, last := v.SegmentStats(o, m)
+		if nsegs != len(segs) {
+			return false
+		}
+		if nsegs == 0 {
+			return total == 0 && first == 0 && last == 0
+		}
+		sum := 0
+		for _, s := range segs {
+			sum += s.Length
+		}
+		return total == sum && first == segs[0].Length && last == segs[len(segs)-1].Length
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A Blocksize×Count product beyond the int range must saturate, not wrap:
+// the DDT handler's derived counts stay well in range, but a corrupt
+// descriptor must never turn Size negative.
+func TestVectorSizeSaturates(t *testing.T) {
+	v := Vector{Blocksize: 1 << 20, Stride: 1 << 20, Count: int(maxInt / (1 << 19))}
+	if v.Size() < 0 {
+		t.Fatalf("Size overflowed: %d", v.Size())
+	}
+	if v.Size() != int(maxInt) {
+		t.Fatalf("Size = %d, want saturated %d", v.Size(), maxInt)
+	}
+	if got := v.SegmentCount(0, 1<<12); got != 1 {
+		t.Fatalf("SegmentCount on saturated vector = %d, want 1", got)
+	}
+}
+
+// HostOffset must agree with the first visited segment.
+func TestHostOffset(t *testing.T) {
+	v := Vector{Blocksize: 10, Stride: 25, Count: 4}
+	for _, off := range []int{0, 5, 10, 19, 39} {
+		var got int64 = -1
+		v.ForEachSegment(off, 1, func(so int64, _ int) bool { got = so; return false })
+		if want := v.HostOffset(off); got != want {
+			t.Fatalf("HostOffset(%d) = %d, first segment at %d", off, want, got)
+		}
+	}
+}

@@ -38,31 +38,45 @@ func putU64(b []byte, off int, v uint64) {
 	}
 }
 
+// ddtMaxParam bounds the vlen+gap sum (the vector stride): a larger stride
+// cannot describe a host region a NIC would steer into, and bounding the
+// sum keeps the stride itself inside int range on 32-bit platforms.
+const ddtMaxParam = 1 << 30
+
+// ddtSegArithCycles is the segment-offset arithmetic per touched block:
+// div/mod plus bounds checks (≈20 scalar cycles on the A15).
+const ddtSegArithCycles = 20
+
 // DDTVector builds the Appendix C.3.4 payload handler: each packet's bytes
-// are scattered into the strided layout with one DMA write per touched
+// are scattered into the strided layout, one DMA transaction per touched
 // block, computed from the packet's offset in the message — so packets
-// unpack independently, in any order, on any HPU (Fig. 6).
+// unpack independently, in any order, on any HPU (Fig. 6). The handler cost
+// is O(touched blocks) and allocation-free: the block count comes from the
+// closed-form datatype.Vector.SegmentStats and the whole scatter issues as
+// one batched descriptor chain (core.Ctx.DMAToHostVec), charging the same
+// per-block arithmetic and per-transaction overhead as a block-at-a-time
+// loop would.
+//
+// The handler validates its HPU state before any arithmetic: a zero,
+// negative, or absurdly large vlen/gap (corrupt or uninitialized state)
+// returns PayloadSegv instead of dividing by zero or overflowing — handler
+// bugs must surface as handler faults, never as a simulator panic.
 func DDTVector() core.HandlerSet {
 	return core.HandlerSet{
 		Payload: func(c *core.Ctx, p core.Payload) core.PayloadRC {
 			base := int64(c.U64(ddtOffset))
-			vlen := int(c.U64(ddtVlen))
-			gap := int(c.U64(ddtStride))
-			v := datatype.Vector{Blocksize: vlen, Stride: vlen + gap, Count: 1 << 30}
-			pos := 0
-			for _, seg := range v.Segments(p.Offset, p.Size) {
-				// Segment-offset arithmetic: div/mod plus bounds checks
-				// (≈20 scalar cycles on the A15).
-				c.Charge(20)
-				var chunk []byte
-				if p.Data != nil {
-					chunk = p.Data[pos : pos+seg.Length]
-				} else {
-					chunk = zeroBuf[:seg.Length]
-				}
-				c.DMAToHostB(chunk, base+seg.Offset, core.MEHostMem)
-				pos += seg.Length
+			vlen := int64(c.U64(ddtVlen))
+			gap := int64(c.U64(ddtStride))
+			if vlen <= 0 || vlen > ddtMaxParam || gap < 0 || gap > ddtMaxParam ||
+				vlen+gap > ddtMaxParam || base < 0 {
+				return core.PayloadSegv
 			}
+			// Derive the real block count from this packet's stream extent
+			// (the last stream byte it touches) instead of a saturating
+			// sentinel, so Vector.Size stays in range on every platform.
+			count := (int64(p.Offset) + int64(p.Size) + vlen - 1) / vlen
+			v := datatype.Vector{Blocksize: int(vlen), Stride: int(vlen + gap), Count: int(count)}
+			c.DMAToHostVec(p.Data, v, p.Offset, p.Size, base, core.MEHostMem, ddtSegArithCycles)
 			if c.Err() != nil {
 				return core.PayloadSegv
 			}

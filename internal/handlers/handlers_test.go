@@ -572,3 +572,75 @@ func TestStreamingAvoidsHostMemoryTraffic(t *testing.T) {
 }
 
 var _ = sim.Nanosecond // keep the import for helpers below
+
+// ddtSegvProbe drives one put at a DDT receiver whose HPU state was
+// initialized via raw, and reports the resulting event stream. Before the
+// validation fix, corrupt state (a zero vlen) divided by zero inside the
+// payload handler and panicked the whole simulator from handler code.
+func ddtSegvProbe(t *testing.T, raw func(state []byte)) []portals.Event {
+	t.Helper()
+	c, nis := world(t, 2)
+	mustPT(t, nis[1], 0)
+	hm := hpuMem(t, nis[1], DDTStateBytes)
+	raw(hm.Buf)
+	eq := portals.NewEQ(c.Eng)
+	mustAppend(t, nis[1], 0, &portals.ME{
+		Start:     make([]byte, 1<<16),
+		MatchBits: 4,
+		EQ:        eq,
+		HPUMem:    hm,
+		Handlers:  DDTVector(),
+	})
+	data := make([]byte, 512)
+	if _, err := nis[0].Put(0, portals.PutArgs{
+		MD: nis[0].MDBind(data, nil, nil), Length: len(data),
+		Target: 1, PTIndex: 0, MatchBits: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	return eq.Events()
+}
+
+func TestDDTVectorZeroVlenFaultsInsteadOfPanicking(t *testing.T) {
+	evs := ddtSegvProbe(t, func(state []byte) {
+		InitDDTState(state, DDTConfig{Offset: 0, Blocksize: 0, Gap: 16})
+	})
+	if len(evs) != 1 || evs[0].Type != portals.EventError {
+		t.Fatalf("events = %+v, want one ERROR event", evs)
+	}
+}
+
+func TestDDTVectorCorruptStateFaultsInsteadOfOverflowing(t *testing.T) {
+	// Each corruption used to feed unchecked 64-bit state into int
+	// arithmetic (vlen = 0 divides; huge vlen/gap/offset overflow or fault
+	// in DMA range checks on 32-bit int platforms).
+	for name, raw := range map[string]func(state []byte){
+		"huge vlen": func(state []byte) {
+			InitDDTState(state, DDTConfig{Blocksize: 16, Gap: 16})
+			binary.LittleEndian.PutUint64(state[8:], math.MaxUint64/2)
+		},
+		"negative vlen": func(state []byte) {
+			InitDDTState(state, DDTConfig{Blocksize: 16, Gap: 16})
+			binary.LittleEndian.PutUint64(state[8:], math.MaxUint64)
+		},
+		"huge gap": func(state []byte) {
+			InitDDTState(state, DDTConfig{Blocksize: 16, Gap: 16})
+			binary.LittleEndian.PutUint64(state[16:], math.MaxUint64-7)
+		},
+		"stride sum overflows 32-bit int": func(state []byte) {
+			// vlen and gap individually plausible; their sum (the stride)
+			// would wrap a 32-bit int.
+			InitDDTState(state, DDTConfig{Blocksize: 1 << 30, Gap: 1 << 30})
+		},
+		"negative base": func(state []byte) {
+			InitDDTState(state, DDTConfig{Blocksize: 16, Gap: 16})
+			binary.LittleEndian.PutUint64(state[0:], math.MaxUint64)
+		},
+	} {
+		evs := ddtSegvProbe(t, raw)
+		if len(evs) != 1 || evs[0].Type != portals.EventError {
+			t.Fatalf("%s: events = %+v, want one ERROR event", name, evs)
+		}
+	}
+}

@@ -12,11 +12,15 @@ import (
 	"repro/internal/sim"
 )
 
-// StridedCopyFemtoPerByte is the effective cost of a strided (non-
+// StridedCopyFemtoPerByte is the streaming component of a strided (non-
 // contiguous destination) copy on the host: scattered writes defeat the
-// prefetcher and write-combining, landing near 11.4 GiB/s end to end —
-// the flat RDMA line of Fig. 7a.
-const StridedCopyFemtoPerByte = 85000 // 85 ps/B
+// prefetcher and write-combining, so the byte-rate component sustains only
+// ~15 GiB/s instead of the 150 GiB/s stream bandwidth. On top of it every
+// destination block pays a fixed boundary cost (see StridedCopy), which is
+// what makes the paper's RDMA unpack rate vary with blocksize — 8.7 GiB/s
+// at tiny blocks up to 11.4 GiB/s at large ones (Fig. 7a) — rather than
+// sit on a flat line.
+const StridedCopyFemtoPerByte = 61500 // 61.5 ps/B streaming component
 
 // KernelFemtoPerByte is the per-pass cost of a CPU read-modify-write
 // kernel (XOR, complex multiply): latency-bound loops reach ~20 GB/s per
@@ -83,9 +87,19 @@ func (c *CPU) Passes(now sim.Time, n, k int) sim.Time {
 	return c.Exec(now, c.P.DRAMLatency+sim.Time(k)*c.P.MemTouch(n))
 }
 
-// StridedCopy models unpacking n bytes into a strided layout (§5.2).
-func (c *CPU) StridedCopy(now sim.Time, n int) sim.Time {
-	return c.Exec(now, c.P.DRAMLatency+sim.Time(int64(n)*StridedCopyFemtoPerByte/1000))
+// StridedCopy models unpacking n bytes into a strided layout of blocksize-
+// byte destination blocks (§5.2): the streaming byte cost plus one host
+// cycle of loop control and write-allocate boundary overhead per touched
+// block. Small blocks are boundary-dominated (the 8.7 GiB/s end of the
+// paper's RDMA curve), large blocks approach the streaming rate (11.4
+// GiB/s); a non-positive blocksize degenerates to a single block.
+func (c *CPU) StridedCopy(now sim.Time, n, blocksize int) sim.Time {
+	blocks := int64(1)
+	if blocksize > 0 && n > blocksize {
+		blocks = (int64(n) + int64(blocksize) - 1) / int64(blocksize)
+	}
+	d := sim.Time(int64(n)*StridedCopyFemtoPerByte/1000) + sim.Time(blocks)*c.P.HostCycle
+	return c.Exec(now, c.P.DRAMLatency+d)
 }
 
 // KernelPasses models k passes of a compute kernel (XOR, accumulate) over

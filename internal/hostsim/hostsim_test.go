@@ -96,7 +96,7 @@ func TestStridedCopySlowerThanContiguous(t *testing.T) {
 	c := cpu(t, nil)
 	n := 1 << 20
 	contig := c.Copy(0, n)
-	strided := c.StridedCopy(contig, n) - contig
+	strided := c.StridedCopy(contig, n, 64) - contig
 	if strided <= contig {
 		t.Fatalf("strided copy %v should be slower than contiguous %v", strided, contig)
 	}
@@ -138,3 +138,30 @@ func BenchmarkMatchQueueWalk(b *testing.B) {
 
 // walkSink defeats dead-code elimination of the benchmark loop.
 var walkSink sim.Time
+
+// TestStridedCopyBlockOverhead pins the per-block term of the strided-copy
+// model: the same byte count gets strictly cheaper as blocks grow (fewer
+// boundary penalties), halving the blocksize adds ~one host cycle per
+// extra block, and the degenerate blocksizes fall back to a single block.
+func TestStridedCopyBlockOverhead(t *testing.T) {
+	c := cpu(t, nil)
+	n := 1 << 20
+	prev := sim.Time(1 << 62)
+	for _, bs := range []int{16, 64, 1024, 1 << 18, n} {
+		d := c.StridedCopy(0, n, bs)
+		if d >= prev {
+			t.Fatalf("blocksize %d: %v not cheaper than smaller-block %v", bs, d, prev)
+		}
+		prev = d
+	}
+	// The block term is linear: 2x the blocks adds blocks*HostCycle.
+	d256 := c.StridedCopy(0, n, 256)
+	d128 := c.StridedCopy(d256, n, 128) - d256
+	extra := d128 - (c.StridedCopy(d256, n, 256) - d256)
+	if want := sim.Time(n/256) * c.P.HostCycle; extra != want {
+		t.Fatalf("halving blocksize added %v, want %v", extra, want)
+	}
+	if cpu(t, nil).StridedCopy(0, n, 0) != cpu(t, nil).StridedCopy(0, n, n) {
+		t.Fatal("non-positive blocksize should degenerate to one block")
+	}
+}

@@ -141,6 +141,14 @@ func (q *EQ) Reset() {
 	q.events = q.events[:0]
 }
 
+// recycle returns the queue to its post-construction state for reissue by
+// NI.NewEQ: unlike Reset, the OnEvent handler is dropped too. Storage
+// (events, dispatch notes) keeps its capacity.
+func (q *EQ) recycle() {
+	q.Reset()
+	q.handler = nil
+}
+
 // Events returns all events appended so far (test/diagnostic use).
 func (q *EQ) Events() []Event { return q.events }
 

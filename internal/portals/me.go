@@ -42,7 +42,10 @@ type ME struct {
 	list        ListKind
 	unlinked    bool
 	localOffset int64
-	mectx       *core.MEContext
+	// mectx is embedded by value and me installs itself as its
+	// core.MEOwner, so appending an entry allocates neither the context
+	// nor per-callback closures.
+	mectx core.MEContext
 }
 
 // Unlinked reports whether the entry has been consumed or removed.
@@ -100,7 +103,7 @@ func (ni *NI) MEAppend(ptIndex int, me *ME, list ListKind) error {
 	if me.InitialState != nil {
 		copy(me.HPUMem.Buf, me.InitialState)
 	}
-	me.mectx = ni.buildMEContext(me)
+	me.buildMEContext()
 	if list == PriorityList {
 		pte.priority = append(pte.priority, me)
 	} else {
@@ -143,25 +146,33 @@ func (me *ME) MatchExactSource(src int) *ME {
 func (me *ME) Unlink() { me.unlinked = true }
 
 // buildMEContext wires an ME to the sPIN runtime: completion events,
-// counter increments, and handler-issued gets.
-func (ni *NI) buildMEContext(me *ME) *core.MEContext {
-	return &core.MEContext{
+// counter increments, and handler-issued gets dispatch through the entry
+// itself (core.MEOwner), closure-free.
+func (me *ME) buildMEContext() {
+	me.mectx = core.MEContext{
 		Handlers:       me.Handlers,
 		State:          me.HPUMem,
 		HostMem:        me.Start,
 		HandlerHostMem: me.HandlerHostMem,
-		OnComplete: func(now sim.Time, r core.MessageResult) {
-			ni.finishMessage(now, me, r)
-		},
-		OnCTInc: func(now sim.Time, n uint64) {
-			if me.CT != nil {
-				me.CT.Inc(now, n)
-			}
-		},
-		IssueGet: func(now sim.Time, req core.GetRequest) {
-			ni.handlerGet(now, me, req)
-		},
+		Owner:          me,
 	}
+}
+
+// MEComplete implements core.MEOwner: the runtime's completion upcall.
+func (me *ME) MEComplete(now sim.Time, r core.MessageResult) {
+	me.ni.finishMessage(now, me, r)
+}
+
+// MECTInc implements core.MEOwner: PtlHandlerCTInc on the attached counter.
+func (me *ME) MECTInc(now sim.Time, n uint64) {
+	if me.CT != nil {
+		me.CT.Inc(now, n)
+	}
+}
+
+// MEIssueGet implements core.MEOwner: handler-issued gets.
+func (me *ME) MEIssueGet(now sim.Time, req core.GetRequest) {
+	me.ni.handlerGet(now, me, req)
 }
 
 // handlerGet implements the PtlHandlerGet plumbing: an OpGet is injected

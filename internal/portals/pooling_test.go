@@ -10,7 +10,7 @@ import (
 // cluster message free list and the NI's pendingOp / sendNote / recvState
 // free lists, plus the outstanding-operation table.
 type poolSizes struct {
-	msgs, ops, notes, recvs, outstanding int
+	msgs, ops, notes, recvs, trigs, outstanding int
 }
 
 func snapshot(c *netsim.Cluster, ni *NI) poolSizes {
@@ -19,6 +19,7 @@ func snapshot(c *netsim.Cluster, ni *NI) poolSizes {
 		ops:         len(ni.opFree),
 		notes:       len(ni.snFree),
 		recvs:       len(ni.rsFree),
+		trigs:       len(ni.toFree),
 		outstanding: len(ni.outstanding),
 	}
 }
@@ -117,6 +118,54 @@ func TestAckForRecycledMessageDoesNotLeak(t *testing.T) {
 // a warm-up burst, repeating the same mixed workload (data puts with send
 // notification, acked puts, gets) must leave every pool at exactly its
 // idle size — growth would mean a leak, shrinkage a retained object.
+// TestTriggeredOpPoolingSteadyState pins the triggered-op record pool: a
+// fired operation's record returns to the free list before the operation
+// issues, so repeatedly arming and tripping triggered puts/gets neither
+// grows any pool (leak) nor shrinks it (retention), and a warm NI arms
+// without allocating.
+func TestTriggeredOpPoolingSteadyState(t *testing.T) {
+	c, nis := pair(t)
+	ni := nis[0]
+	postME(t, nis[1], 5, 7, 1<<16)
+	md := ni.MDBind(make([]byte, 4096), nil, nil)
+
+	ct := NewCT(c.Eng)
+	var reached uint64
+	round := func() {
+		if err := ni.ArmTriggeredPut(PutArgs{
+			MD: md, Length: 256, Target: 1, PTIndex: 5, MatchBits: 7,
+		}, ct, reached+1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ni.ArmTriggeredGet(GetArgs{
+			MD: md, Length: 128, Target: 1, PTIndex: 5, MatchBits: 7,
+		}, ct, reached+2); err != nil {
+			t.Fatal(err)
+		}
+		reached += 2
+		ct.Inc(c.Eng.Now(), 2)
+		c.Eng.Run()
+	}
+	round()
+	round()
+	idle := snapshot(c, ni)
+	if idle.trigs < 2 {
+		t.Fatalf("warm-up left %d pooled triggered-op records, want >= 2", idle.trigs)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		round()
+		if got := snapshot(c, ni); got != idle {
+			t.Fatalf("pools drifted: idle %+v, got %+v", idle, got)
+		}
+	})
+	// Arming draws pooled records and value-stored triggers; firing
+	// dispatches through pooled CT notes — a warm arm/fire round allocates
+	// nothing.
+	if allocs > 0 {
+		t.Fatalf("steady-state triggered round = %.1f allocs, want 0", allocs)
+	}
+}
+
 func TestSteadyStatePoolsStable(t *testing.T) {
 	c, nis := pair(t)
 	ni := nis[0]

@@ -134,11 +134,21 @@ type NI struct {
 	recvStates  map[*netsim.Message]*recvState
 	channels    map[*netsim.Message]*ME
 
-	// rsFree, opFree, and snFree recycle recvState, pendingOp, and sendNote
-	// objects; engine-owned (not sync.Pool) so reuse order is deterministic.
+	// rsFree, opFree, snFree, and toFree recycle recvState, pendingOp,
+	// sendNote, and triggeredOp objects; engine-owned (not sync.Pool) so
+	// reuse order is deterministic.
 	rsFree []*recvState
 	opFree []*pendingOp
 	snFree []*sendNote
+	toFree []*triggeredOp
+	// pteFree recycles portal table entries (their ME lists keep capacity);
+	// eqLive/ctLive track queues and counters handed out by NewEQ/NewCT so
+	// Reset can reclaim them onto eqFree/ctFree.
+	pteFree []*PTEntry
+	eqLive  []*EQ
+	eqFree  []*EQ
+	ctLive  []*CT
+	ctFree  []*CT
 
 	// Drops counts packets discarded because no ME matched or the portal
 	// was disabled.
@@ -171,10 +181,63 @@ func NewNI(c *netsim.Cluster, rank int) *NI {
 // allocation), and map storage is cleared in place so a reused NI allocates
 // nothing to reach its pristine state.
 func (ni *NI) Reset() {
+	// Recycle the portal table entries and the EQ/CT objects handed out by
+	// NewEQ/NewCT. Map iteration order is irrelevant (pool entries are
+	// reset when reissued, so recycle order changes allocation behaviour
+	// only), and reclaimed EQs/CTs are returned to their post-construction
+	// state — a reused object is indistinguishable from a fresh one in
+	// simulated time.
+	for _, pte := range ni.pt {
+		pte.EQ = nil
+		pte.priority = pte.priority[:0]
+		pte.overflow = pte.overflow[:0]
+		ni.pteFree = append(ni.pteFree, pte)
+	}
 	clear(ni.pt)
+	for _, q := range ni.eqLive {
+		q.recycle()
+		ni.eqFree = append(ni.eqFree, q)
+	}
+	ni.eqLive = ni.eqLive[:0]
+	for _, ct := range ni.ctLive {
+		ct.Reset()
+		ni.ctFree = append(ni.ctFree, ct)
+	}
+	ni.ctLive = ni.ctLive[:0]
 	ni.releaseInFlight()
 	ni.Drops = 0
 	ni.RT.Reset()
+}
+
+// NewEQ returns an event queue on the NI's engine, drawn from an NI-owned
+// free list: the queue (and its event/dispatch storage) is reclaimed by the
+// next NI.Reset, so setup-heavy sweeps that rebuild their portal rigs per
+// measurement point stop allocating queues once warm. Entries installed for
+// the lifetime of a long-lived service (raidsim) should use portals.NewEQ
+// directly — NI.Reset must not reclaim those.
+func (ni *NI) NewEQ() *EQ {
+	var q *EQ
+	if n := len(ni.eqFree); n > 0 {
+		q = ni.eqFree[n-1]
+		ni.eqFree = ni.eqFree[:n-1]
+	} else {
+		q = NewEQ(ni.C.Eng)
+	}
+	ni.eqLive = append(ni.eqLive, q)
+	return q
+}
+
+// NewCT is NewEQ's counting-event counterpart.
+func (ni *NI) NewCT() *CT {
+	var ct *CT
+	if n := len(ni.ctFree); n > 0 {
+		ct = ni.ctFree[n-1]
+		ni.ctFree = ni.ctFree[:n-1]
+	} else {
+		ct = NewCT(ni.C.Eng)
+	}
+	ni.ctLive = append(ni.ctLive, ct)
+	return ct
 }
 
 // releaseInFlight returns outstanding operations to the op pool and clears
@@ -259,7 +322,14 @@ func (ni *NI) PTAlloc(index int, eq *EQ) (*PTEntry, error) {
 	if _, dup := ni.pt[index]; dup {
 		return nil, fmt.Errorf("portals: PT index %d already allocated", index)
 	}
-	pte := &PTEntry{Index: index, Enabled: true, EQ: eq}
+	var pte *PTEntry
+	if n := len(ni.pteFree); n > 0 {
+		pte = ni.pteFree[n-1]
+		ni.pteFree = ni.pteFree[:n-1]
+		pte.Index, pte.Enabled, pte.EQ = index, true, eq
+	} else {
+		pte = &PTEntry{Index: index, Enabled: true, EQ: eq}
+	}
 	ni.pt[index] = pte
 	return pte, nil
 }
@@ -309,19 +379,48 @@ type PutArgs struct {
 	NoData bool
 }
 
+// validatePut checks a put's arguments without touching any pool: an
+// oversized user header, an out-of-cluster target, or a transfer outside
+// the MD. buildPut runs it before drawing from the message free list, and
+// the triggered-operation arming path runs it so arguments that could never
+// fire are rejected when the operation is armed, not by a panic deep in the
+// event loop at trigger time.
+func (ni *NI) validatePut(a PutArgs) error {
+	if len(a.UserHdr) > ni.Limits.MaxUserHdrSize {
+		return fmt.Errorf("portals: user header of %d bytes exceeds limit %d", len(a.UserHdr), ni.Limits.MaxUserHdrSize)
+	}
+	if a.Target < 0 || a.Target >= len(ni.C.Nodes) {
+		return fmt.Errorf("portals: put target %d outside cluster of %d nodes", a.Target, len(ni.C.Nodes))
+	}
+	if !a.NoData && a.MD != nil {
+		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
+			return fmt.Errorf("portals: put [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
+		}
+	}
+	return nil
+}
+
+// validateGet is validatePut's get-side counterpart.
+func (ni *NI) validateGet(a GetArgs) error {
+	if a.Target < 0 || a.Target >= len(ni.C.Nodes) {
+		return fmt.Errorf("portals: get target %d outside cluster of %d nodes", a.Target, len(ni.C.Nodes))
+	}
+	if a.MD != nil {
+		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
+			return fmt.Errorf("portals: get reply [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
+		}
+	}
+	return nil
+}
+
 // buildPut assembles a pooled put message. Validation happens before the
 // message is drawn from the cluster's free list, so error paths allocate
 // and leak nothing.
 func (ni *NI) buildPut(a PutArgs) (*netsim.Message, error) {
-	if len(a.UserHdr) > ni.Limits.MaxUserHdrSize {
-		return nil, fmt.Errorf("portals: user header of %d bytes exceeds limit %d", len(a.UserHdr), ni.Limits.MaxUserHdrSize)
+	if err := ni.validatePut(a); err != nil {
+		return nil, err
 	}
 	stage := !a.NoData && a.MD != nil
-	if stage {
-		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
-			return nil, fmt.Errorf("portals: put [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
-		}
-	}
 	m := ni.C.AllocMessage()
 	m.Type = netsim.OpPut
 	m.Src = ni.Node.Rank
@@ -388,10 +487,8 @@ type GetArgs struct {
 }
 
 func (ni *NI) buildGet(a GetArgs) (*netsim.Message, error) {
-	if a.MD != nil {
-		if a.LocalOffset < 0 || a.LocalOffset+int64(a.Length) > int64(len(a.MD.Buf)) {
-			return nil, fmt.Errorf("portals: get reply [%d,%d) outside MD of %d bytes", a.LocalOffset, a.LocalOffset+int64(a.Length), len(a.MD.Buf))
-		}
+	if err := ni.validateGet(a); err != nil {
+		return nil, err
 	}
 	m := ni.C.AllocMessage()
 	m.Type = netsim.OpGet
@@ -448,22 +545,90 @@ func (ni *NI) Atomic(now sim.Time, a PutArgs, op AtomicOp) (sim.Time, error) {
 	return ni.C.HostSend(now, m), nil
 }
 
-// TriggeredPut arms a put that fires from the NIC when ct reaches
-// threshold (PtlTriggeredPut). The data is read from the MD when the
-// trigger fires, matching triggered-operation semantics.
-func (ni *NI) TriggeredPut(a PutArgs, ct *CT, threshold uint64) {
-	ct.OnReach(threshold, func(now sim.Time) {
-		if err := ni.DevicePut(now, a); err != nil {
-			panic(fmt.Sprintf("portals: triggered put failed: %v", err))
-		}
-	})
+// triggeredOp is one armed triggered operation: the arguments captured at
+// arm time plus the NI that will fire them. Records are drawn from
+// NI.toFree and dispatched through CT.OnReachCall, so arming a triggered
+// operation on a warm NI allocates nothing — the hot half of the paper's
+// triggered-op collectives (Fig. 5a's P4 broadcast arms one per child per
+// message). Exactly one of put/get is meaningful, selected by isGet.
+type triggeredOp struct {
+	ni    *NI
+	put   PutArgs
+	get   GetArgs
+	isGet bool
 }
 
-// TriggeredGet arms a get that fires when ct reaches threshold.
+// runTriggeredOp is the CT.OnReachCall entry point for fired triggered
+// operations. The record is recycled before the operation is issued (the
+// device put/get may arm new triggered operations); arguments were
+// validated at arm time, so a failure here indicates NI state corrupted
+// since arming — an invariant violation, not an input error.
+func runTriggeredOp(a any, now sim.Time) {
+	op := a.(*triggeredOp)
+	ni, put, get, isGet := op.ni, op.put, op.get, op.isGet
+	*op = triggeredOp{}
+	ni.toFree = append(ni.toFree, op)
+	var err error
+	if isGet {
+		err = ni.DeviceGet(now, get)
+	} else {
+		err = ni.DevicePut(now, put)
+	}
+	if err != nil {
+		panic(fmt.Sprintf("portals: armed triggered operation failed to fire: %v", err))
+	}
+}
+
+// allocTriggeredOp draws a zeroed triggered-op record from the free list.
+func (ni *NI) allocTriggeredOp() *triggeredOp {
+	if n := len(ni.toFree); n > 0 {
+		op := ni.toFree[n-1]
+		ni.toFree = ni.toFree[:n-1]
+		return op
+	}
+	return &triggeredOp{}
+}
+
+// ArmTriggeredPut arms a put that fires from the NIC when ct reaches
+// threshold (PtlTriggeredPut). The data is read from the MD when the
+// trigger fires, matching triggered-operation semantics. Arguments are
+// validated now, at arm time: an operation that could never fire (bad
+// target, transfer outside the MD) is reported here as an error instead of
+// panicking inside the event loop when the counter trips.
+func (ni *NI) ArmTriggeredPut(a PutArgs, ct *CT, threshold uint64) error {
+	if err := ni.validatePut(a); err != nil {
+		return err
+	}
+	op := ni.allocTriggeredOp()
+	op.ni, op.put = ni, a
+	ct.OnReachCall(threshold, runTriggeredOp, op)
+	return nil
+}
+
+// ArmTriggeredGet arms a get that fires when ct reaches threshold,
+// validating the arguments at arm time like ArmTriggeredPut.
+func (ni *NI) ArmTriggeredGet(a GetArgs, ct *CT, threshold uint64) error {
+	if err := ni.validateGet(a); err != nil {
+		return err
+	}
+	op := ni.allocTriggeredOp()
+	op.ni, op.get, op.isGet = ni, a, true
+	ct.OnReachCall(threshold, runTriggeredOp, op)
+	return nil
+}
+
+// TriggeredPut is ArmTriggeredPut for callers with static arguments: it
+// panics on arguments the fallible form would reject.
+func (ni *NI) TriggeredPut(a PutArgs, ct *CT, threshold uint64) {
+	if err := ni.ArmTriggeredPut(a, ct, threshold); err != nil {
+		panic(err)
+	}
+}
+
+// TriggeredGet is ArmTriggeredGet for callers with static arguments: it
+// panics on arguments the fallible form would reject.
 func (ni *NI) TriggeredGet(a GetArgs, ct *CT, threshold uint64) {
-	ct.OnReach(threshold, func(now sim.Time) {
-		if err := ni.DeviceGet(now, a); err != nil {
-			panic(fmt.Sprintf("portals: triggered get failed: %v", err))
-		}
-	})
+	if err := ni.ArmTriggeredGet(a, ct, threshold); err != nil {
+		panic(err)
+	}
 }

@@ -504,3 +504,72 @@ func TestTruncationAtMEBoundary(t *testing.T) {
 		t.Fatal("no completion event after truncation")
 	}
 }
+
+func TestTriggeredOpsValidateAtArmTime(t *testing.T) {
+	c, nis := pair(t)
+	ct := NewCT(c.Eng)
+	md := nis[0].MDBind(make([]byte, 64), nil, nil)
+
+	// A put that reads outside its MD could never fire; before arm-time
+	// validation this panicked deep in the event loop when ct tripped.
+	if err := nis[0].ArmTriggeredPut(PutArgs{
+		MD: md, LocalOffset: 32, Length: 64, Target: 1, PTIndex: 0, MatchBits: 1,
+	}, ct, 1); err == nil {
+		t.Fatal("triggered put outside MD accepted at arm time")
+	}
+	if err := nis[0].ArmTriggeredPut(PutArgs{
+		MD: md, Length: 8, Target: 7, PTIndex: 0, MatchBits: 1,
+	}, ct, 1); err == nil {
+		t.Fatal("triggered put to nonexistent target accepted at arm time")
+	}
+	if err := nis[0].ArmTriggeredGet(GetArgs{
+		MD: md, LocalOffset: -1, Length: 8, Target: 1, PTIndex: 0, MatchBits: 1,
+	}, ct, 1); err == nil {
+		t.Fatal("triggered get outside MD accepted at arm time")
+	}
+	// Rejected operations leave nothing armed: tripping the counter fires
+	// no message.
+	sent := c.MessagesSent
+	ct.Inc(0, 1)
+	c.Eng.Run()
+	if c.MessagesSent != sent {
+		t.Fatalf("rejected triggered ops fired %d messages", c.MessagesSent-sent)
+	}
+
+	// The legacy form panics at arm time (not at fire time) for the same
+	// arguments.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TriggeredPut did not panic on invalid arguments")
+		}
+	}()
+	nis[0].TriggeredPut(PutArgs{MD: md, LocalOffset: 32, Length: 64, Target: 1, PTIndex: 0, MatchBits: 1}, ct, 2)
+}
+
+func TestTriggeredGetFiresAtThreshold(t *testing.T) {
+	c, nis := pair(t)
+	// Node 1 exposes data; node 0 arms a get triggered by a counter.
+	src, _ := postME(t, nis[1], 0, 5, 4096)
+	copy(src.Start, bytes.Repeat([]byte{0x7e}, 512))
+	ct := NewCT(c.Eng)
+	buf := make([]byte, 512)
+	replyCT := NewCT(c.Eng)
+	md := nis[0].MDBind(buf, replyCT, nil)
+	if err := nis[0].ArmTriggeredGet(GetArgs{
+		MD: md, Length: 512, Target: 1, PTIndex: 0, MatchBits: 5,
+	}, ct, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Eng.Run()
+	if replyCT.Get() != 0 {
+		t.Fatal("get fired before threshold")
+	}
+	ct.Inc(c.Eng.Now(), 1)
+	c.Eng.Run()
+	if replyCT.Get() == 0 {
+		t.Fatal("triggered get did not fire at threshold")
+	}
+	if !bytes.Equal(buf, src.Start[:512]) {
+		t.Fatal("triggered get returned wrong data")
+	}
+}

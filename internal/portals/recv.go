@@ -72,7 +72,7 @@ func (ni *NI) recvPut(now sim.Time, pkt *netsim.Packet) {
 			if !pkt.Last {
 				ni.channels[msg] = me
 			}
-			ni.RT.Deliver(now, pkt, me.mectx)
+			ni.RT.Deliver(now, pkt, &me.mectx)
 			return
 		}
 		st := ni.allocRecvState()
@@ -85,7 +85,7 @@ func (ni *NI) recvPut(now sim.Time, pkt *netsim.Packet) {
 		return
 	}
 	if me, ok := ni.channels[msg]; ok {
-		ni.RT.Deliver(now, pkt, me.mectx)
+		ni.RT.Deliver(now, pkt, &me.mectx)
 		if pkt.Last {
 			delete(ni.channels, msg)
 		}

@@ -1,11 +1,25 @@
 package sim
 
+import "sort"
+
 // Intervals is a unit-capacity resource that accepts reservations in any
 // time order: Acquire finds the earliest gap of the requested width at or
 // after the requested time. The DMA bus needs this: a handler computes for
 // hundreds of nanoseconds between its read and its write-back, and other
 // initiators' transactions must be able to slot into that window (a plain
 // busy-until timeline would head-of-line block them).
+//
+// Placement is first-fit and exact; the two accelerations below are pure
+// data-structure shortcuts that return the same (start, index) the naive
+// front-to-back scan would, which is what keeps simulated time bit-identical
+// to the unoptimized resource (the determinism contract depends on it):
+//
+//   - the scan starts at the first span that can interact with the request
+//     (binary search on span end) instead of at the list head;
+//   - maxGapUB is a monotone upper bound on the widest free gap between
+//     reserved spans, so a request wider than every gap skips the scan
+//     entirely and lands at the tail — the steady state of a saturated
+//     resource fed with fixed-size transactions (the Fig. 7a scatter bus).
 type Intervals struct {
 	Name string
 	// busy holds disjoint reserved intervals sorted by start.
@@ -16,6 +30,11 @@ type Intervals struct {
 	floor Time
 	// Busy accumulates reserved time.
 	Busy Time
+	// maxGapUB bounds every free gap inside [floor, last span end) from
+	// above. Gap creation (a reservation landing beyond the tail) raises
+	// it; splits and merges only shrink true gaps, so the bound stays
+	// valid; a full scan that reaches the tail recomputes it exactly.
+	maxGapUB Time
 }
 
 type ivSpan struct{ start, end Time }
@@ -33,28 +52,62 @@ func (iv *Intervals) Reset() {
 	iv.busy = iv.busy[:0]
 	iv.floor = 0
 	iv.Busy = 0
+	iv.maxGapUB = 0
 }
 
 // place finds the earliest feasible start >= earliest for a reservation of
-// the given width and the insertion index, without committing.
+// the given width and the insertion index, without committing. It returns
+// exactly what a front-to-back first-fit scan would return.
 func (iv *Intervals) place(earliest, occupancy Time) (start Time, idx int) {
 	if earliest < iv.floor {
 		earliest = iv.floor
 	}
+	n := len(iv.busy)
+	if n == 0 {
+		return earliest, 0
+	}
+	// Fast path: every gap between spans is narrower than the request, so
+	// the scan cannot break early and the placement is after the tail.
+	if last := iv.busy[n-1].end; occupancy > iv.maxGapUB {
+		if earliest > last {
+			return earliest, n
+		}
+		return last, n
+	}
+	// Spans ending at or before earliest can neither collide with the
+	// request nor terminate the scan (their start precedes earliest too),
+	// so the scan may begin at the first span with end > earliest.
 	start = earliest
-	i := 0
-	for i < len(iv.busy) {
+	i := sort.Search(n, func(j int) bool { return iv.busy[j].end > earliest })
+	scannedAll := i == 0
+	var widest Time
+	for i < n {
 		sp := iv.busy[i]
 		if sp.end <= start {
 			i++
 			continue
 		}
 		if start+occupancy <= sp.start {
-			break // fits in the gap before span i
+			return start, i // fits in the gap before span i
+		}
+		if i+1 < n {
+			if gap := iv.busy[i+1].start - sp.end; gap > widest {
+				widest = gap
+			}
 		}
 		// Collide: move past this span.
 		start = sp.end
 		i++
+	}
+	if scannedAll {
+		// The scan visited every interior gap and found none wide enough;
+		// re-anchor the upper bound exactly (the leading gap below the
+		// first span is measured from the floor, which earliest may sit
+		// above).
+		if lead := iv.busy[0].start - iv.floor; lead > widest {
+			widest = lead
+		}
+		iv.maxGapUB = widest
 	}
 	return start, i
 }
@@ -74,10 +127,23 @@ func (iv *Intervals) Acquire(earliest, occupancy Time) (start Time) {
 	return start
 }
 
-// insert places sp at index i, merging with touching neighbors.
+// insert places sp at index i, merging with touching neighbors and
+// maintaining the gap upper bound: only a reservation placed past the
+// current tail (or past the floor of an empty list) creates a new gap —
+// every other insertion splits or closes existing gaps, which can only
+// shrink them.
 func (iv *Intervals) insert(i int, sp ivSpan) {
 	if sp.start == sp.end {
 		return // zero-width reservations occupy nothing
+	}
+	if i == len(iv.busy) {
+		prevEnd := iv.floor
+		if i > 0 {
+			prevEnd = iv.busy[i-1].end
+		}
+		if gap := sp.start - prevEnd; gap > iv.maxGapUB {
+			iv.maxGapUB = gap
+		}
 	}
 	// Merge left.
 	if i > 0 && iv.busy[i-1].end == sp.start {

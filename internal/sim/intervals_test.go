@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -100,5 +101,110 @@ func TestIntervalsNoOverlapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// naiveIntervals replicates the original front-to-back first-fit scan with
+// no accelerations: the reference the optimized Intervals must match
+// reservation for reservation (the determinism contract makes placement
+// exactness load-bearing — see ARCHITECTURE.md).
+type naiveIntervals struct {
+	busy  []ivSpan
+	floor Time
+}
+
+func (iv *naiveIntervals) acquire(earliest, occupancy Time) Time {
+	if earliest < iv.floor {
+		earliest = iv.floor
+	}
+	start := earliest
+	i := 0
+	for i < len(iv.busy) {
+		sp := iv.busy[i]
+		if sp.end <= start {
+			i++
+			continue
+		}
+		if start+occupancy <= sp.start {
+			break
+		}
+		start = sp.end
+		i++
+	}
+	if start != start+occupancy {
+		sp := ivSpan{start, start + occupancy}
+		if i > 0 && iv.busy[i-1].end == sp.start {
+			iv.busy[i-1].end = sp.end
+			if i < len(iv.busy) && iv.busy[i].start == sp.end {
+				iv.busy[i-1].end = iv.busy[i].end
+				iv.busy = append(iv.busy[:i], iv.busy[i+1:]...)
+			}
+		} else if i < len(iv.busy) && iv.busy[i].start == sp.end {
+			iv.busy[i].start = sp.start
+		} else {
+			iv.busy = append(iv.busy, ivSpan{})
+			copy(iv.busy[i+1:], iv.busy[i:])
+			iv.busy[i] = sp
+		}
+		if len(iv.busy) > maxSpans {
+			half := len(iv.busy) / 2
+			iv.floor = iv.busy[half-1].end
+			iv.busy = append(iv.busy[:0], iv.busy[half:]...)
+		}
+	}
+	return start
+}
+
+// TestIntervalsFastPathsMatchNaiveScan drives the optimized Intervals and
+// the naive reference through identical randomized workloads shaped like
+// the simulator's (mixed occupancy classes, lagging and leading earliest
+// times, saturated and idle phases) and requires every returned start to
+// be identical.
+func TestIntervalsFastPathsMatchNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		iv := NewIntervals("t")
+		ref := &naiveIntervals{}
+		var frontier Time
+		for op := 0; op < 5000; op++ {
+			var occ Time
+			switch rng.Intn(4) {
+			case 0:
+				occ = 0 // zero-width reservations occupy nothing
+			case 1:
+				occ = Time(1 + rng.Intn(3)) // tiny (hole-filling)
+			case 2:
+				occ = Time(8 + rng.Intn(8)) // transaction-sized
+			default:
+				occ = Time(50 + rng.Intn(200)) // large
+			}
+			// earliest wanders: mostly lagging the frontier (the Fig 7a
+			// regime), sometimes far ahead (idle bus).
+			var earliest Time
+			switch rng.Intn(5) {
+			case 0:
+				earliest = frontier + Time(rng.Intn(500)) // beyond the tail
+			case 1:
+				earliest = 0 // maximally stale
+			default:
+				lag := Time(rng.Intn(2000))
+				if lag > frontier {
+					lag = frontier
+				}
+				earliest = frontier - lag
+			}
+			got := iv.Acquire(earliest, occ)
+			want := ref.acquire(earliest, occ)
+			if got != want {
+				t.Fatalf("trial %d op %d: Acquire(%d, %d) = %d, reference scan = %d",
+					trial, op, earliest, occ, got, want)
+			}
+			if end := got + occ; occ > 0 && end > frontier {
+				frontier = end
+			}
+		}
+		if iv.FreeAt() != frontier && len(iv.busy) > 0 && iv.busy[len(iv.busy)-1].end != frontier {
+			t.Fatalf("trial %d: FreeAt %d disagrees with frontier %d", trial, iv.FreeAt(), frontier)
+		}
 	}
 }

@@ -42,14 +42,20 @@ go test -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
 # Experiment-level concurrency in spinbench must match serial stdout.
 go test -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
-echo "== alloc budgets (engine schedule / transport / Table5c / SPC) =="
+echo "== alloc budgets (engine schedule / transport / Table5c / Fig5a / SPC) =="
 # Ceilings from BENCH_core.json: 0 allocs per schedule+dispatch, <= 7 per
-# 256-packet message, the post-replay-reuse Table 5c budget, and the
-# post-portals-pooling SPC budget.
+# 256-packet message, the post-program-pooling Table 5c budget, the
+# post-triggered-op-pooling Fig 5a budget, and the post-portals-pooling
+# SPC budget.
 go test -count=1 -run 'TestAllocBudgets' .
 
 echo "== perf smoke (BenchmarkFig3b, 1x) =="
 go test -run='^$' -bench=BenchmarkFig3b -benchtime=1x -benchmem .
+
+echo "== fig7a wall-clock gate =="
+# The vectorized datatype scatter keeps Fig 7a under 200 ms at benchScale;
+# a return of the ~6 s per-segment regression fails the 2 s budget.
+go test -count=1 -run 'TestFig7aWallClock' .
 
 echo "== alloc smoke (BenchmarkClusterSendLarge, hot path) =="
 go test -run='^$' -bench=BenchmarkClusterSendLarge -benchtime=100x -benchmem ./internal/netsim
