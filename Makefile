@@ -13,6 +13,7 @@ check:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
+	$(GO) test -race -count=1 -run 'TestImpairedSweepDeterminism' ./internal/bench
 	$(GO) test -race -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
 build:

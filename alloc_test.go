@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/netsim"
+	"repro/internal/portals"
 	"repro/internal/sim"
 )
 
@@ -38,12 +39,17 @@ import (
 //     dispatch, NI-pooled EQs/CTs/PT entries, and the Env arenas for
 //     matching entries, child lists, and deposit regions bring it to
 //     ~108k. The 120k budget fails if any of those pools is lost.
+//   - retransSteadyStateBudget: the reliable-put retransmit loop — record,
+//     per-attempt message, timer event, ack, and the lost messages
+//     themselves — runs entirely on NI/cluster/engine free lists, so after
+//     warmup a put that is lost and retransmitted costs zero allocations.
 const (
-	engineScheduleBudget   = 0
-	clusterSendLargeBudget = 7
-	table5cBudget          = 150_000
-	spcBudget              = 15_000
-	fig5aBudget            = 120_000
+	engineScheduleBudget     = 0
+	clusterSendLargeBudget   = 7
+	table5cBudget            = 150_000
+	spcBudget                = 15_000
+	fig5aBudget              = 120_000
+	retransSteadyStateBudget = 0
 )
 
 func TestAllocBudgets(t *testing.T) {
@@ -84,6 +90,40 @@ func TestAllocBudgets(t *testing.T) {
 		})
 		if got > clusterSendLargeBudget {
 			t.Errorf("1 MiB send = %.1f allocs/op, budget %d", got, clusterSendLargeBudget)
+		}
+	})
+
+	t.Run("RetransSteadyState", func(t *testing.T) {
+		p := netsim.Integrated()
+		c, err := netsim.NewCluster(2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every second packet on each link dies, so half the puts are
+		// retransmitted and half the acks are lost (forcing duplicate
+		// deposits) — the full recovery machinery runs on every iteration.
+		c.SetImpairment(&netsim.Impairment{LossEveryN: 2})
+		nis := portals.Setup(c)
+		if _, err := nis[1].PTAlloc(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := nis[1].MEAppend(0, &portals.ME{Start: make([]byte, 8), MatchBits: 0x11}, portals.PriorityList); err != nil {
+			t.Fatal(err)
+		}
+		nis[0].ConfigureRetrans(portals.RetransConfig{Timeout: 10 * sim.Microsecond})
+		put := func() {
+			if _, err := nis[0].ReliablePut(c.Eng.Now(), portals.PutArgs{
+				NoData: true, Length: 8, Target: 1, PTIndex: 0, MatchBits: 0x11,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			c.Eng.Run()
+		}
+		for i := 0; i < 64; i++ { // fill the record/message/event pools
+			put()
+		}
+		if got := testing.AllocsPerRun(200, put); got > retransSteadyStateBudget {
+			t.Errorf("lossy reliable put = %.1f allocs/op, budget %d", got, retransSteadyStateBudget)
 		}
 	})
 

@@ -12,6 +12,8 @@
 //	spinbench -csv             # machine-readable output
 //	spinbench -list            # list experiment ids
 //	spinbench -wall            # report wall time + allocations per experiment
+//	spinbench -impair 'loss=0.01,jitter=2us,seed=7'
+//	                           # inject a deterministic network fault model
 //
 // -parallel N parallelizes on two levels: up to N independent experiments
 // run concurrently, and within each experiment the sweep shards its
@@ -21,6 +23,14 @@
 // assigned to sweep workers deterministically and merged back in point
 // order, and every worker reuses its simulation state via the Reset
 // contract, which is simulation-equivalent to rebuilding.
+//
+// -impair installs a seeded netsim.Impairment on every simulated cluster:
+// packet loss (random or every-Nth), corruption, extra latency and jitter,
+// bandwidth throttling, and timed link failures. Fault draws are a pure
+// function of (seed, link, packet), so impaired runs are byte-identical
+// across re-runs and across -parallel settings; the per-experiment fault
+// counters are reported on stderr. raidsim replays ignore the model (the
+// storage service has no recovery layer).
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/netsim"
 )
 
 func main() {
@@ -54,11 +65,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiments and exit")
 	wall := fs.Bool("wall", false, "report wall-clock time and heap allocations per experiment on stderr")
 	parallel := fs.Int("parallel", 1, "concurrent experiments and sweep workers per experiment (1 = serial, 0 = GOMAXPROCS)")
+	impair := fs.String("impair", "", "deterministic network fault model, e.g. 'loss=0.01,jitter=2us,fail=0:1:0,seed=7'")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+
+	var im *netsim.Impairment
+	if *impair != "" {
+		var err error
+		if im, err = netsim.ParseImpairment(*impair); err != nil {
+			fmt.Fprintf(stderr, "spinbench: -impair: %v\n", err)
+			return 2
+		}
 	}
 
 	exps := bench.Experiments()
@@ -70,8 +91,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sel, unknown := selectExperiments(exps, *exp)
 	if len(unknown) > 0 {
-		fmt.Fprintf(stderr, "spinbench: unknown experiment ids: %s (use -list)\n",
-			strings.Join(unknown, ", "))
+		ids := make([]string, len(exps))
+		for i, e := range exps {
+			ids[i] = e.ID
+		}
+		fmt.Fprintf(stderr, "spinbench: unknown experiment ids: %s (valid: %s)\n",
+			strings.Join(unknown, ", "), strings.Join(ids, ", "))
 		return 1
 	}
 	if len(sel) == 0 {
@@ -94,7 +119,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, e := range sel {
 			var o expOutput
-			runExperiment(e, *scale, *parallel, budget, *csv, *wall, &o)
+			runExperiment(e, *scale, *parallel, budget, im, *csv, *wall, &o)
 			if flushExperiment(e, &o, stdout, stderr) != 0 {
 				return 1
 			}
@@ -125,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func() {
 			defer wg.Done()
 			for i := w; i < len(sel); i += workers {
-				runExperiment(sel[i], *scale, *parallel, budget, *csv, *wall, &outs[i])
+				runExperiment(sel[i], *scale, *parallel, budget, im, *csv, *wall, &outs[i])
 				if outs[i].err != nil {
 					return
 				}
@@ -169,14 +194,17 @@ type expOutput struct {
 
 // runExperiment builds and runs one experiment, rendering into o. Its
 // sweep draws execution slots from budget (nil = unbounded), which is
-// shared across concurrently running experiments.
-func runExperiment(e bench.Experiment, scale, parallel int, budget *bench.Budget, csv, wall bool, o *expOutput) {
+// shared across concurrently running experiments. A non-nil im is the
+// -impair fault model, installed on the sweep before it runs.
+func runExperiment(e bench.Experiment, scale, parallel int, budget *bench.Budget, im *netsim.Impairment, csv, wall bool, o *expOutput) {
 	t0 := time.Now()
 	var m0 runtime.MemStats
 	if wall {
 		runtime.ReadMemStats(&m0)
 	}
-	tab, err := e.Build(scale).RunBudget(parallel, budget)
+	s := e.Build(scale)
+	s.SetImpairment(im)
+	tab, err := s.RunBudget(parallel, budget)
 	if err != nil {
 		o.err = err
 		return
@@ -186,6 +214,12 @@ func runExperiment(e bench.Experiment, scale, parallel int, budget *bench.Budget
 		runtime.ReadMemStats(&m1)
 		fmt.Fprintf(&o.diag, "spinbench: %s: %v wall, %d allocs\n",
 			e.ID, time.Since(t0).Round(time.Millisecond), m1.Mallocs-m0.Mallocs)
+	}
+	// Fault counters are summed from every worker's environment, so the
+	// line is identical no matter how the sweep was sharded.
+	if f := s.Faults(); f.Any() {
+		fmt.Fprintf(&o.diag, "spinbench: %s: faults: lost=%d blocked=%d corrupted=%d delayed=%d retransmits=%d retrans_failures=%d\n",
+			e.ID, f.Lost, f.Blocked, f.Corrupted, f.Delayed, f.Retransmits, f.RetransFails)
 	}
 	if csv {
 		tab.CSV(&o.out)

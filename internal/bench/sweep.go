@@ -51,6 +51,27 @@ type Env struct {
 	// programs into (apps.App.ProgramsInto), so a sweep constructs op
 	// slices once per worker instead of once per replay.
 	progs *mpisim.ProgramBuffer
+
+	// impair is the fault model installed on every cluster and mpisim
+	// engine this Env hands out (nil = perfect network). It joins the cache
+	// keys — an impaired cluster must never be reused for an unimpaired
+	// point or vice versa — and survives Reset, so reuse replays the exact
+	// same fault schedule. raidsim is deliberately excluded: the storage
+	// service has no recovery layer, so impairing it would only wedge
+	// replays.
+	impair *netsim.Impairment
+	// noCache disables reuse while keeping the impairment plumbing: the
+	// RunFresh baseline of impaired determinism tests builds every system
+	// from scratch but still needs the fault model applied.
+	noCache bool
+	// faultAcc accumulates fault counters harvested from cached systems
+	// just before each Reset wipes them; FaultStats adds the live ones.
+	faultAcc netsim.FaultStats
+	// freshC and freshM retain impaired systems built on the noCache path,
+	// which would otherwise be dropped before FaultStats could read their
+	// counters. Only impaired noCache builds append here.
+	freshC []*netsim.Cluster
+	freshM []*mpisim.Engine
 }
 
 // envKey identifies a cluster configuration by value. netsim.Params is
@@ -58,9 +79,10 @@ type Env struct {
 // Params that describe the same fat tree share a cached cluster even when
 // built by separate netsim.Integrated()/Discrete() calls.
 type envKey struct {
-	n    int
-	p    netsim.Params // Topo cleared; represented by topo below
-	topo fattree.Topology
+	n      int
+	p      netsim.Params // Topo cleared; represented by topo below
+	topo   fattree.Topology
+	impair string // canonical impairment key (netsim.Impairment.Key)
 }
 
 type envCluster struct {
@@ -89,9 +111,21 @@ func (e *Env) cluster(n int, p netsim.Params) (*netsim.Cluster, []*portals.NI, e
 		attachTrace(c)
 		return c, portals.Setup(c), nil
 	}
-	k := envKey{n: n, p: p, topo: *p.Topo}
+	if e.noCache {
+		c, err := netsim.NewCluster(n, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.SetImpairment(e.impair)
+		if e.impair != nil {
+			e.freshC = append(e.freshC, c)
+		}
+		return c, portals.Setup(c), nil
+	}
+	k := envKey{n: n, p: p, topo: *p.Topo, impair: e.impair.Key()}
 	k.p.Topo = nil
 	if ec, ok := e.clusters[k]; ok {
+		e.faultAcc.Add(ec.c.Faults)
 		ec.c.Reset()
 		return ec.c, ec.nis, nil
 	}
@@ -99,9 +133,34 @@ func (e *Env) cluster(n int, p netsim.Params) (*netsim.Cluster, []*portals.NI, e
 	if err != nil {
 		return nil, nil, err
 	}
+	c.SetImpairment(e.impair)
 	ec := &envCluster{c: c, nis: portals.Setup(c)}
 	e.clusters[k] = ec
 	return ec.c, ec.nis, nil
+}
+
+// FaultStats returns every injected-fault and recovery counter this Env has
+// seen: the accumulator of counters harvested before cache resets plus the
+// live counters of cached systems. Sums are commutative, so the result is
+// independent of map iteration order. Nil-safe.
+func (e *Env) FaultStats() netsim.FaultStats {
+	if e == nil {
+		return netsim.FaultStats{}
+	}
+	s := e.faultAcc
+	for _, ec := range e.clusters {
+		s.Add(ec.c.Faults)
+	}
+	for _, eng := range e.mpis {
+		s.Add(eng.C.Faults)
+	}
+	for _, c := range e.freshC {
+		s.Add(c.Faults)
+	}
+	for _, eng := range e.freshM {
+		s.Add(eng.C.Faults)
+	}
+	return s
 }
 
 // mpiKey identifies an mpisim engine configuration by value: rank count
@@ -115,6 +174,7 @@ type mpiKey struct {
 	recvPost sim.Time
 	p        netsim.Params // Topo cleared; represented by topo below
 	topo     fattree.Topology
+	impair   string // canonical impairment key (netsim.Impairment.Key)
 }
 
 // mpiEngine returns a replay engine for cfg primed with the given rank
@@ -122,15 +182,24 @@ type mpiKey struct {
 // otherwise the cached engine for (rank count, configuration) is returned
 // Reset for the new program set — the replay-engine analogue of cluster.
 func (e *Env) mpiEngine(cfg mpisim.Config, progs [][]mpisim.Op) (*mpisim.Engine, error) {
-	if e == nil || cfg.Noise != nil {
-		return mpisim.New(cfg, progs)
+	if e != nil && e.impair != nil {
+		cfg.Impair = e.impair // retry defaults are filled in by mpisim.New
+	}
+	if e == nil || cfg.Noise != nil || e.noCache {
+		eng, err := mpisim.New(cfg, progs)
+		if err == nil && e != nil && e.noCache && e.impair != nil {
+			e.freshM = append(e.freshM, eng)
+		}
+		return eng, err
 	}
 	k := mpiKey{
 		n: len(progs), mode: cfg.Mode, eager: cfg.EagerThreshold,
 		recvPost: cfg.RecvPostCost, p: cfg.Params, topo: *cfg.Params.Topo,
+		impair: e.impair.Key(),
 	}
 	k.p.Topo = nil
 	if eng, ok := e.mpis[k]; ok {
+		e.faultAcc.Add(eng.C.Faults)
 		if err := eng.Reset(progs); err != nil {
 			return nil, err
 		}
@@ -325,10 +394,32 @@ func (b *Budget) release() {
 type Sweep struct {
 	table  *Table
 	points []func(e *Env) ([][]string, error)
+
+	// impair, when set, is installed on every Env the runners build, so the
+	// whole sweep executes under the fault model; faults accumulates the
+	// counters of every worker's Env after the run. Both commute with
+	// sharding: the fault schedule is a pure function of (seed, traffic)
+	// per cluster, and the counter sums are order-independent.
+	impair *netsim.Impairment
+	faults netsim.FaultStats
 }
 
 // NewSweep returns a sweep that will fill t's rows.
 func NewSweep(t *Table) *Sweep { return &Sweep{table: t} }
+
+// SetImpairment installs a fault model for the whole sweep (nil or a
+// disabled impairment restores the perfect network). Output stays
+// byte-identical across serial, parallel, fresh, and Reset-reuse runs for a
+// fixed impairment, exactly as for unimpaired sweeps.
+func (s *Sweep) SetImpairment(im *netsim.Impairment) {
+	if !im.Enabled() {
+		im = nil
+	}
+	s.impair = im
+}
+
+// Faults returns the fault/recovery counters accumulated by the last run.
+func (s *Sweep) Faults() netsim.FaultStats { return s.faults }
 
 // Point appends one measurement point producing zero or more table rows.
 func (s *Sweep) Point(fn func(e *Env) ([][]string, error)) {
@@ -385,10 +476,19 @@ func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 	}
 	rows := make([][][]string, len(s.points))
 	errs := make([]error, len(s.points))
+	s.faults = netsim.FaultStats{}
 	if workers <= 1 {
 		var e *Env
 		if !fresh {
 			e = NewEnv()
+		} else if s.impair != nil {
+			// The from-scratch baseline still needs the fault model: a
+			// no-cache Env applies it without reusing anything.
+			e = NewEnv()
+			e.noCache = true
+		}
+		if e != nil {
+			e.impair = s.impair
 		}
 		for i, fn := range s.points {
 			b.acquire()
@@ -398,13 +498,17 @@ func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 				break
 			}
 		}
+		s.faults.Add(e.FaultStats())
 	} else {
+		envs := make([]*Env, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				e := NewEnv()
+				e.impair = s.impair
+				envs[w] = e
 				for i := w; i < len(s.points); i += workers {
 					b.acquire()
 					rows[i], errs[i] = s.points[i](e)
@@ -416,6 +520,9 @@ func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 			}()
 		}
 		wg.Wait()
+		for _, e := range envs {
+			s.faults.Add(e.FaultStats())
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -455,5 +562,6 @@ func Experiments() []Experiment {
 		{"noise", "ablation: OS-noise sensitivity", noiseSweep},
 		{"bcast-store", "ablation: store-and-forward vs streaming", bcastStoreSweep},
 		{"trees", "ablation: binomial vs pipeline broadcast", treesSweep},
+		{"ftbcast", "fault-tolerant broadcast under injected faults", ftbcastSweep},
 	}
 }

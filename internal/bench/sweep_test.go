@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/noise"
+	"repro/internal/sim"
 )
 
 func tableCSV(t *Table) string {
@@ -155,5 +156,66 @@ func TestSingleHelperEquivalence(t *testing.T) {
 	}
 	if a != b || b != c {
 		t.Fatalf("ping-pong diverged: fresh=%v env=%v env-reused=%v", a, b, c)
+	}
+}
+
+// TestImpairedSweepDeterminism extends the golden equality check to sweeps
+// running under a fault model: with a fixed impairment, CSV output and the
+// accumulated fault counters must be byte-identical across the from-scratch
+// baseline, the Reset-reuse serial runner, and the sharded parallel runner.
+// fig3b runs under jitter+latency only — ping-pong has no retransmission
+// path, so loss would legitimately stall it — while ftbcast layers user
+// loss+jitter on top of its built-in recovery machinery. This is the -race
+// job's impaired variant: a fault schedule that leaked state across Reset or
+// depended on worker interleaving shows up here as a row or counter diff.
+func TestImpairedSweepDeterminism(t *testing.T) {
+	cases := []struct {
+		id string
+		im *netsim.Impairment
+	}{
+		{"fig3b", &netsim.Impairment{Seed: 11, ExtraLatency: 300 * sim.Nanosecond, Jitter: 200 * sim.Nanosecond}},
+		{"ftbcast", &netsim.Impairment{Seed: 9, Loss: 0.02, Jitter: 300 * sim.Nanosecond}},
+	}
+	for _, tc := range cases {
+		scale := 4
+		exp := buildExperiment(t, tc.id)
+
+		fresh := exp.Build(scale)
+		fresh.SetImpairment(tc.im)
+		freshTab, err := fresh.RunFresh()
+		if err != nil {
+			t.Fatalf("%s impaired fresh: %v", tc.id, err)
+		}
+		want := tableCSV(freshTab)
+		wantFaults := fresh.Faults()
+		if !wantFaults.Any() {
+			t.Fatalf("%s: impairment installed but no faults recorded", tc.id)
+		}
+
+		serial := exp.Build(scale)
+		serial.SetImpairment(tc.im)
+		serialTab, err := serial.Run(1)
+		if err != nil {
+			t.Fatalf("%s impaired serial: %v", tc.id, err)
+		}
+		if got := tableCSV(serialTab); got != want {
+			t.Fatalf("%s: impaired Reset-reuse output differs from fresh:\n--- fresh ---\n%s--- reuse ---\n%s", tc.id, want, got)
+		}
+		if serial.Faults() != wantFaults {
+			t.Fatalf("%s: serial fault counters diverged: %+v vs %+v", tc.id, serial.Faults(), wantFaults)
+		}
+
+		par := exp.Build(scale)
+		par.SetImpairment(tc.im)
+		parTab, err := par.Run(4)
+		if err != nil {
+			t.Fatalf("%s impaired parallel: %v", tc.id, err)
+		}
+		if got := tableCSV(parTab); got != want {
+			t.Fatalf("%s: impaired parallel output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", tc.id, want, got)
+		}
+		if par.Faults() != wantFaults {
+			t.Fatalf("%s: parallel fault counters diverged: %+v vs %+v", tc.id, par.Faults(), wantFaults)
+		}
 	}
 }

@@ -38,16 +38,30 @@ type FTBcastConfig struct {
 	// Redundancy is the number of binomial-graph neighbors each rank
 	// forwards every accepted message to.
 	Redundancy int
+	// Peers, when non-nil, is the precomputed forwarding list (what
+	// Neighbors computes). Callers building many handler sets — one per
+	// rank per sweep point — carve Peers from an arena via AppendNeighbors
+	// so FTBcast stays off the allocator.
+	Peers []int
 }
 
-// Neighbors returns the binomial-graph neighbors (rank ± 2^k) that
-// forwarding targets, capped at the configured redundancy.
+// Neighbors returns the binomial-graph neighbors (rank + 2^k) that
+// forwarding targets, capped at the configured redundancy. It allocates a
+// fresh slice; hot callers should use AppendNeighbors and set Peers.
 func (cfg FTBcastConfig) Neighbors() []int {
-	var out []int
-	for k := 1; k < cfg.NProcs && len(out) < cfg.Redundancy; k *= 2 {
-		out = append(out, (cfg.MyRank+k)%cfg.NProcs)
+	return cfg.AppendNeighbors(nil)
+}
+
+// AppendNeighbors appends the forwarding targets to dst and returns the
+// extended slice, so callers can reuse a grow-only arena instead of
+// allocating per rank.
+func (cfg FTBcastConfig) AppendNeighbors(dst []int) []int {
+	n := 0
+	for k := 1; k < cfg.NProcs && n < cfg.Redundancy; k *= 2 {
+		dst = append(dst, (cfg.MyRank+k)%cfg.NProcs)
+		n++
 	}
-	return out
+	return dst
 }
 
 // FTBcast builds the dedup-and-forward handlers: the header handler
@@ -55,16 +69,23 @@ func (cfg FTBcastConfig) Neighbors() []int {
 // copy is deposited and re-forwarded, every later copy is dropped on the
 // NIC without touching host memory. hdr_data carries the sequence number.
 func FTBcast(cfg FTBcastConfig) core.HandlerSet {
-	neighbors := cfg.Neighbors()
+	neighbors := cfg.Peers
+	if neighbors == nil {
+		neighbors = cfg.Neighbors()
+	}
 	return core.HandlerSet{
 		Header: func(c *core.Ctx, h core.Header) core.HeaderRC {
 			seq := h.HdrData
 			slot := int64(seq%FTBcastWindow) * 8
-			// Atomic claim: only the first copy swaps the slot from its
-			// previous value to seq.
+			// Atomic claim: accept only sequence numbers newer than the
+			// slot's last accepted one. Equality is a duplicate, and an
+			// older seq colliding modulo the window with a newer accepted
+			// one must also drop — but never the other way around: a newer
+			// seq reclaims the slot (accept-if-greater), so the window
+			// wrapping cannot silently discard fresh broadcasts.
 			prev := c.U64(slot)
-			if prev == seq {
-				return core.Drop // duplicate: already delivered
+			if prev != ftSeqNever && seq <= prev {
+				return core.Drop // duplicate or stale: already delivered
 			}
 			if !c.CAS(slot, prev, seq) {
 				return core.Drop // lost the race to a concurrent copy

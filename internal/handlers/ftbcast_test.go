@@ -1,0 +1,210 @@
+package handlers
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+func TestFTBcastNeighborsAndArena(t *testing.T) {
+	cfg := FTBcastConfig{MyRank: 5, NProcs: 8, Redundancy: 3}
+	want := []int{6, 7, 1} // 5+1, 5+2, 5+4 mod 8
+	got := cfg.Neighbors()
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+	// AppendNeighbors extends the caller's arena in place.
+	arena := []int{99}
+	arena = cfg.AppendNeighbors(arena)
+	if len(arena) != 4 || arena[0] != 99 || arena[1] != 6 {
+		t.Fatalf("arena = %v", arena)
+	}
+	// Redundancy above log2(P) is capped by the power-of-two walk.
+	if got := (FTBcastConfig{MyRank: 0, NProcs: 4, Redundancy: 64}).Neighbors(); len(got) != 2 {
+		t.Fatalf("redundancy not capped: %v", got)
+	}
+}
+
+// TestFTBcastWindowWraparound is the regression test for the dedup-window
+// bug: sequence numbers s and s+FTBcastWindow map to the same slot. The
+// newer number must reclaim the slot, and a late duplicate of the older one
+// must then be dropped — the old claim-if-different logic redelivered it.
+func TestFTBcastWindowWraparound(t *testing.T) {
+	c, nis := world(t, 3)
+	const size = 256
+	buf := make([]byte, size)
+	hm := hpuMem(t, nis[2], FTBcastStateBytes)
+	InitFTBcastState(hm.Buf)
+	eq := portals.NewEQ(c.Eng)
+	mustPT(t, nis[2], 0)
+	mustAppend(t, nis[2], 0, &portals.ME{
+		Start:      buf,
+		IgnoreBits: ^uint64(0),
+		EQ:         eq,
+		HPUMem:     hm,
+		Handlers:   FTBcast(FTBcastConfig{MyRank: 2, NProcs: 3, PT: 0, Bits: 7, Redundancy: 0}),
+	})
+	send := func(from int, seq uint64, fill byte) {
+		payload := bytes.Repeat([]byte{fill}, size)
+		nis[from].Put(c.Eng.Now(), portals.PutArgs{
+			MD: nis[from].MDBind(payload, nil, nil), Length: size, Target: 2, PTIndex: 0, HdrData: seq,
+		})
+		c.Eng.Run()
+	}
+	send(0, 5, 0xAA)
+	if buf[0] != 0xAA {
+		t.Fatal("seq 5 not delivered")
+	}
+	// seq 5+window collides with slot 5 and must win it.
+	send(0, 5+FTBcastWindow, 0xBB)
+	if buf[0] != 0xBB {
+		t.Fatal("wrapped sequence number discarded — window wraparound bug")
+	}
+	// A late duplicate of the superseded seq 5 must now be dropped.
+	send(1, 5, 0xCC)
+	if buf[0] != 0xBB {
+		t.Fatal("stale duplicate redelivered after wraparound")
+	}
+	// And a duplicate of the wrapped seq drops too.
+	send(1, 5+FTBcastWindow, 0xDD)
+	if buf[0] != 0xBB {
+		t.Fatal("duplicate of wrapped sequence redelivered")
+	}
+	dropped := 0
+	for _, ev := range eq.Events() {
+		if ev.DroppedBytes > 0 {
+			dropped++
+		}
+	}
+	if dropped != 2 {
+		t.Fatalf("%d NIC-suppressed duplicates, want 2", dropped)
+	}
+}
+
+// ftbcastWorld wires P ranks with FT-bcast MEs at the given redundancy and
+// returns per-rank delivery/duplicate accounting driven by EQ events.
+func ftbcastWorld(t *testing.T, c *netsim.Cluster, nis []*portals.NI, red int) (delivered []map[uint64]int, nicDups *int) {
+	t.Helper()
+	P := len(nis)
+	delivered = make([]map[uint64]int, P)
+	nicDups = new(int)
+	for r := 1; r < P; r++ {
+		hm := hpuMem(t, nis[r], FTBcastStateBytes)
+		InitFTBcastState(hm.Buf)
+		eq := portals.NewEQ(c.Eng)
+		mustPT(t, nis[r], 0)
+		m := make(map[uint64]int)
+		delivered[r] = m
+		eq.OnEvent(func(ev portals.Event) {
+			if ev.DroppedBytes > 0 {
+				*nicDups++
+				return
+			}
+			m[ev.HdrData]++
+		})
+		mustAppend(t, nis[r], 0, &portals.ME{
+			Start:      make([]byte, 64),
+			IgnoreBits: ^uint64(0),
+			EQ:         eq,
+			HPUMem:     hm,
+			Handlers:   FTBcast(FTBcastConfig{MyRank: r, NProcs: P, PT: 0, Bits: 7, Redundancy: red}),
+		})
+	}
+	mustPT(t, nis[0], 0)
+	return delivered, nicDups
+}
+
+// floodFTBcast sends msgs broadcasts from rank 0 through the redundant
+// binomial graph and returns after the engine drains.
+func floodFTBcast(t *testing.T, c *netsim.Cluster, nis []*portals.NI, red, msgs int) {
+	t.Helper()
+	rootCfg := FTBcastConfig{MyRank: 0, NProcs: len(nis), Redundancy: red}
+	var ts sim.Time
+	for s := 1; s <= msgs; s++ {
+		payload := []byte{byte(s), 0, 0, 0, 0, 0, 0, 0}
+		md := nis[0].MDBind(payload, nil, nil)
+		for _, nb := range rootCfg.Neighbors() {
+			var err error
+			ts, err = nis[0].Put(ts, portals.PutArgs{
+				MD: md, Length: len(payload), Target: nb, PTIndex: 0, HdrData: uint64(s),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.Eng.Run()
+}
+
+// TestFTBcastDeliversExactlyOnceUnderLoss floods broadcasts through a lossy
+// network at redundancy log2(P) and requires first-copy delivery with zero
+// duplicate host deposits: lost copies are absorbed by redundancy, redundant
+// copies die on the NIC.
+func TestFTBcastDeliversExactlyOnceUnderLoss(t *testing.T) {
+	const P = 8
+	const msgs = 6
+	red := 3 // log2(8)
+	c, nis := world(t, P)
+	c.SetImpairment(&netsim.Impairment{Seed: 21, Loss: 0.05})
+	delivered, nicDups := ftbcastWorld(t, c, nis, red)
+	floodFTBcast(t, c, nis, red, msgs)
+	if c.Faults.Lost == 0 {
+		t.Fatal("test lost no packets; loss knob broken")
+	}
+	for r := 1; r < P; r++ {
+		for s := uint64(1); s <= msgs; s++ {
+			switch delivered[r][s] {
+			case 0:
+				t.Fatalf("rank %d never delivered seq %d (lost %d packets, redundancy %d)", r, s, c.Faults.Lost, red)
+			case 1:
+				// exactly once: the service the paper describes
+			default:
+				t.Fatalf("rank %d delivered seq %d %d times; duplicates must die on the NIC", r, s, delivered[r][s])
+			}
+		}
+	}
+	if *nicDups == 0 {
+		t.Fatal("no NIC-suppressed duplicates; redundancy apparently not exercised")
+	}
+}
+
+// TestFTBcastRedundancyOneIsFragile runs the same flood at redundancy 1 (a
+// plain ring of forwards): packet loss then leaves some rank without a
+// copy, which is exactly the fragility the redundant graph exists to fix.
+func TestFTBcastRedundancyOneIsFragile(t *testing.T) {
+	const P = 8
+	const msgs = 6
+	c, nis := world(t, P)
+	// Same seed as the exactly-once test: the fault schedule that redundancy
+	// log2(P) absorbs must defeat redundancy 1.
+	c.SetImpairment(&netsim.Impairment{Seed: 21, Loss: 0.05})
+	delivered, _ := ftbcastWorld(t, c, nis, 1)
+	floodFTBcast(t, c, nis, 1, msgs)
+	missing := 0
+	for r := 1; r < P; r++ {
+		for s := uint64(1); s <= msgs; s++ {
+			if delivered[r][s] == 0 {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Skip("fault schedule spared the ring this time; deterministic seed should prevent this")
+	}
+	// Duplicates must still never reach the host, even in the fragile setup.
+	for r := 1; r < P; r++ {
+		for s, n := range delivered[r] {
+			if n > 1 {
+				t.Fatalf("rank %d delivered seq %d %d times", r, s, n)
+			}
+		}
+	}
+}

@@ -81,7 +81,29 @@ type Config struct {
 	Noise func(rank int) *noise.Model
 	// RecvPostCost is the CPU cost of posting a receive.
 	RecvPostCost sim.Time
+
+	// Impair optionally installs a fault model on the cluster (see
+	// netsim.Impairment). An impaired replay needs recovery: New enables
+	// rendezvous-control retry (RetryTimeout defaulted if unset) and forces
+	// every send through the rendezvous protocol, whose control messages
+	// (RTS, pull, data) are all covered by the retry machinery — eager
+	// sends have no recovery path.
+	Impair *netsim.Impairment
+	// RetryTimeout is how long a rank waits for a rendezvous control
+	// exchange to progress before resending the RTS or pull; 0 disables
+	// retry.
+	RetryTimeout sim.Time
+	// MaxRetries bounds control-message resends per exchange (defaulted
+	// when retry is enabled). An exchange that exhausts its budget stops
+	// progressing and surfaces as a deadlock from Run.
+	MaxRetries int
 }
+
+// DefaultRetryTimeout is the rendezvous-control retry interval installed by
+// New when an impairment is configured without an explicit timeout. It
+// comfortably exceeds the round-trip of a control exchange at the paper's
+// parameters.
+const DefaultRetryTimeout = 20 * sim.Microsecond
 
 // DefaultConfig returns the configuration used for Table 5c.
 func DefaultConfig(mode MatchMode) Config {
@@ -104,6 +126,9 @@ type Result struct {
 	Events uint64
 	// Copies counts CPU bounce-buffer copies performed.
 	Copies uint64
+	// Retransmits counts rendezvous control messages resent under
+	// impairment (deterministic for a fixed seed, like every counter here).
+	Retransmits uint64
 }
 
 // OverheadFraction returns MPI blocked time as a fraction of total
@@ -194,6 +219,10 @@ type Engine struct {
 	rdvPull map[uint64]*sendReq
 	// pullWait maps rendezvous ids to the receiver awaiting the data.
 	pullWait map[uint64]pullDest
+	// rtsSeen records rendezvous ids whose RTS was already processed, so a
+	// retransmitted RTS cannot double-match (only populated when retry is
+	// on).
+	rtsSeen map[uint64]struct{}
 
 	// Engine-owned free lists for per-message protocol state (deliberately
 	// not sync.Pool: the engine is single-threaded and reuse order must be
@@ -205,6 +234,7 @@ type Engine struct {
 	sendFree []*sendReq
 	paFree   []*pendingArrival
 	inflFree []*inflight
+	ctlFree  []*ctlRetry
 
 	Res Result
 }
@@ -215,12 +245,22 @@ func New(cfg Config, programs [][]Op) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Impair.Enabled() {
+		c.SetImpairment(cfg.Impair)
+		if cfg.RetryTimeout <= 0 {
+			cfg.RetryTimeout = DefaultRetryTimeout
+		}
+	}
+	if cfg.RetryTimeout > 0 && cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 16
+	}
 	e := &Engine{
 		C:        c,
 		Cfg:      cfg,
 		inflight: make(map[*netsim.Message]*inflight),
 		rdvPull:  make(map[uint64]*sendReq),
 		pullWait: make(map[uint64]pullDest),
+		rtsSeen:  make(map[uint64]struct{}),
 	}
 	e.rank = make([]*rank, len(programs))
 	for i, prog := range programs {
@@ -264,6 +304,7 @@ func (e *Engine) Reset(programs [][]Op) error {
 	clear(e.inflight)
 	clear(e.rdvPull)
 	clear(e.pullWait)
+	clear(e.rtsSeen)
 	e.Res = Result{}
 	for i, r := range e.rank {
 		for _, rr := range r.recvs {
@@ -333,6 +374,88 @@ func (e *Engine) allocPA() *pendingArrival {
 }
 
 func (e *Engine) freePA(pa *pendingArrival) { e.paFree = append(e.paFree, pa) }
+
+// ctlRetry tracks one rendezvous control message (RTS or pull) awaiting
+// progress under impairment. The retry timer owns the record: it recycles
+// records whose exchange progressed (the id left its map) and resends and
+// re-arms the rest. Records are engine-owned and closure-free like every
+// other pooled object here; records still referenced by timers dropped in a
+// Reset are abandoned to the GC, matching the engine's dropped-event rule.
+type ctlRetry struct {
+	e     *Engine
+	isRTS bool
+	id    uint64 // rendezvous/pull id
+	rnk   *rank  // sender (RTS) or receiver (pull)
+	peer  int
+	tag   uint64
+	size  int
+	tries int
+}
+
+func (e *Engine) allocCtlRetry() *ctlRetry {
+	if n := len(e.ctlFree); n > 0 {
+		cr := e.ctlFree[n-1]
+		e.ctlFree = e.ctlFree[:n-1]
+		*cr = ctlRetry{e: e}
+		return cr
+	}
+	return &ctlRetry{e: e}
+}
+
+func (e *Engine) freeCtlRetry(cr *ctlRetry) { e.ctlFree = append(e.ctlFree, cr) }
+
+// retryOn reports whether rendezvous-control retry is active.
+func (e *Engine) retryOn() bool { return e.Cfg.RetryTimeout > 0 && e.C.Impaired() }
+
+// armCtlRetry schedules the retry timer for a control exchange.
+func (e *Engine) armCtlRetry(now sim.Time, isRTS bool, id uint64, r *rank, peer int, tag uint64, size int) {
+	cr := e.allocCtlRetry()
+	cr.isRTS, cr.id, cr.rnk, cr.peer, cr.tag, cr.size = isRTS, id, r, peer, tag, size
+	e.C.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
+}
+
+// runCtlRetry is the ScheduleCall entry point for a control-retry timeout.
+func runCtlRetry(a any) {
+	cr := a.(*ctlRetry)
+	e := cr.e
+	// Progress check: an RTS exchange is live while its id is in rdvPull
+	// (the pull's arrival deletes it); a pull is live while its id is in
+	// pullWait (the data's arrival deletes it).
+	var live bool
+	if cr.isRTS {
+		_, live = e.rdvPull[cr.id]
+	} else {
+		_, live = e.pullWait[cr.id]
+	}
+	if !live {
+		e.freeCtlRetry(cr)
+		return
+	}
+	if cr.tries >= e.Cfg.MaxRetries {
+		// Budget spent: stop resending. The unfinished exchange surfaces as
+		// a deadlock from Run, which is the honest outcome of a partitioned
+		// network.
+		e.C.Faults.RetransFails++
+		e.freeCtlRetry(cr)
+		return
+	}
+	cr.tries++
+	e.Res.Retransmits++
+	e.C.Faults.Retransmits++
+	now := e.C.Eng.Now()
+	m := e.allocMsg()
+	m.Type = netsim.OpPut // RTS rides a put header
+	if !cr.isRTS {
+		m.Type = netsim.OpGet
+	}
+	m.Src = cr.rnk.id
+	m.Dst = cr.peer
+	m.MatchBits = cr.tag
+	m.HdrData = cr.id
+	m.GetLength = cr.size
+	e.C.DeviceSend(now, m)
+	e.C.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
+}
 
 func (e *Engine) allocInflight() *inflight {
 	if n := len(e.inflFree); n > 0 {

@@ -17,7 +17,10 @@ func (r *rank) isend(now sim.Time, op Op) sim.Time {
 	e.Res.Messages++
 	sr := e.allocSendReq()
 	r.sends = append(r.sends, sr)
-	if op.Size <= e.Cfg.EagerThreshold {
+	// Under impairment every send goes rendezvous: an eager message that
+	// loses a packet is gone (fire-and-forget has no recovery), while the
+	// rendezvous control loop retries RTS and pull until the data lands.
+	if op.Size <= e.Cfg.EagerThreshold && !e.retryOn() {
 		sr.done = true
 		m := e.allocMsg()
 		m.Type = netsim.OpPut
@@ -36,7 +39,11 @@ func (r *rank) isend(now sim.Time, op Op) sim.Time {
 	rts.MatchBits = op.Tag
 	rts.HdrData = id
 	rts.GetLength = op.Size
-	return e.C.HostSend(now, rts)
+	coreFree := e.C.HostSend(now, rts)
+	if e.retryOn() {
+		e.armCtlRetry(now, true, id, r, op.Peer, op.Tag, op.Size)
+	}
+	return coreFree
 }
 
 // irecv posts a receive: in sPIN mode this installs a matching entry (and
@@ -110,6 +117,12 @@ func (e *Engine) issuePull(now sim.Time, r *rank, rr *recvReq, src int, tag, pul
 	pull.GetLength = rr.size
 	e.pullWait[pullID] = pullDest{r: r, rr: rr}
 	e.C.DeviceSend(now, pull)
+	// The pull timer also covers a lost (or partially lost) data response:
+	// the id stays in pullWait until the response completes, so the timer
+	// re-issues the pull and the sender streams the data again.
+	if e.retryOn() {
+		e.armCtlRetry(now, false, pullID, r, src, tag, rr.size)
+	}
 }
 
 // progressArrival services one queued arrival once the host can progress
@@ -205,6 +218,14 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 		}
 	case m.GetLength > 0:
 		// RTS for a rendezvous send.
+		if e.retryOn() {
+			// A retransmitted RTS must not match twice: the first copy
+			// already created receive-side state keyed by the same id.
+			if _, dup := e.rtsSeen[m.HdrData]; dup {
+				return
+			}
+			e.rtsSeen[m.HdrData] = struct{}{}
+		}
 		if e.Cfg.Mode == SpinMatching {
 			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
 				// Case II: the header handler issues the get directly

@@ -83,6 +83,17 @@ type Message struct {
 	// recycles them automatically after their last packet has been
 	// dispatched to the receiver.
 	pooled bool
+
+	// track, faulted, and touched exist only under impairment (track stays 0
+	// otherwise). track counts packets not yet terminally accounted for
+	// (delivered, dropped, or CRC-discarded); faulted records that at least
+	// one packet was removed; touched records that a receiver saw at least
+	// one packet. Together they decide recycle-vs-quarantine for pooled
+	// messages when loss breaks the "last packet dispatches" invariant — see
+	// Cluster.packetAccounted.
+	track   int
+	faulted bool
+	touched bool
 }
 
 // StageData returns an n-byte payload buffer owned by the message and
@@ -112,6 +123,11 @@ type Packet struct {
 	Size   int  // payload bytes carried
 	Header bool // true for the first packet (carries header + user header)
 	Last   bool
+
+	// corrupt marks a packet damaged by the impairment layer: it traverses
+	// the wire and matching hardware, then fails the NIC CRC check and is
+	// discarded before the Receiver sees it.
+	corrupt bool
 
 	// node is the destination, carried so the matched-packet event can be
 	// scheduled without a closure.
@@ -166,6 +182,17 @@ type Cluster struct {
 	// built once at construction so send-side completion schedules via
 	// ScheduleCall without a per-message closure.
 	deliveredCall func(any)
+
+	// imp is the installed fault model (nil = perfect network); linkSeq
+	// counts packets per directed link, keying the impairment PRNG; and
+	// quarantine parks faulted pooled messages until the next ResetCore
+	// (see packetAccounted). All three are touched only under impairment.
+	imp        *Impairment
+	linkSeq    map[uint64]uint64
+	quarantine []*Message
+
+	// Faults counts injected faults and recovery work (see FaultStats).
+	Faults FaultStats
 
 	// Stats
 	MessagesSent uint64
@@ -240,6 +267,15 @@ func (c *Cluster) ResetCore() {
 	c.MessagesSent = 0
 	c.PacketsSent = 0
 	c.BytesSent = 0
+	clear(c.linkSeq)
+	c.Faults = FaultStats{}
+	// Quarantined messages are safe to reuse once receiver-side maps have
+	// been cleared; recycling them here (deterministic LIFO order) keeps the
+	// pool steady across reset-reuse sweeps.
+	for _, m := range c.quarantine {
+		c.recycleMessage(m)
+	}
+	c.quarantine = c.quarantine[:0]
 }
 
 // NextID returns a fresh message ID.
@@ -266,6 +302,12 @@ type msgWalk struct {
 	arr     sim.Time // arrival time of packet idx
 	occFull sim.Time // egress occupancy of a full-MTU packet
 	occLast sim.Time // egress occupancy of the final packet
+
+	// impSeq is the message's reserved block of per-link packet sequence
+	// numbers and lastAt the latest impaired delivery time so far (FIFO
+	// clamp). Both are used only under impairment.
+	impSeq uint64
+	lastAt sim.Time
 }
 
 func (c *Cluster) allocWalk() *msgWalk {
@@ -387,6 +429,18 @@ func (c *Cluster) Send(ready sim.Time, msg *Message) {
 	w := c.allocWalk()
 	*w = msgWalk{c: c, dst: dst, msg: msg, length: msg.Length, n: n,
 		seq0: c.Eng.ReserveSeq(n), arr: firstArrival, occFull: occFull, occLast: occLast}
+	if c.imp != nil {
+		// Reserve this message's block of per-link packet sequence numbers
+		// at Send time: the fault verdict for packet i depends only on how
+		// many packets the link carried before this message, which is itself
+		// a pure function of the traffic pattern.
+		k := linkKey(msg.Src, msg.Dst)
+		w.impSeq = c.linkSeq[k]
+		c.linkSeq[k] += uint64(n)
+		msg.track = n
+		msg.faulted = false
+		msg.touched = false
+	}
 	c.Eng.ScheduleCallSeq(firstArrival, w.seq0, walkDeliver, w)
 	if msg.Delivered != nil {
 		c.Eng.ScheduleCall(lastInjected, c.deliveredCall, msg)
@@ -419,6 +473,13 @@ func walkDeliver(a any) {
 	pkt.Header = i == 0
 	pkt.Last = i == w.n-1
 	dst := w.dst
+	// Decide the packet's fate before advancing the walk: the final packet's
+	// advance frees w, and the verdict reads the walk's impairment state.
+	var at sim.Time
+	var drop bool
+	if c.imp != nil {
+		at, drop = c.impairPacket(w, pkt, w.arr)
+	}
 	w.idx++
 	if w.idx < w.n {
 		if w.idx == w.n-1 {
@@ -430,7 +491,23 @@ func walkDeliver(a any) {
 	} else {
 		c.freeWalk(w)
 	}
-	dst.receive(pkt)
+	if c.imp == nil {
+		dst.receive(pkt)
+		return
+	}
+	if drop {
+		msg := pkt.Msg
+		msg.faulted = true
+		c.freePacket(pkt)
+		c.packetAccounted(msg)
+		return
+	}
+	if at == c.Eng.Now() {
+		dst.receive(pkt)
+		return
+	}
+	pkt.node = dst
+	c.Eng.ScheduleCall(at, runDelayedReceive, pkt)
 }
 
 // receive runs when a packet reaches the destination NIC: it passes the
@@ -454,7 +531,9 @@ func (n *Node) receive(pkt *Packet) {
 		// message is still done once its last packet would have dispatched.
 		last, msg := pkt.Last, pkt.Msg
 		c.freePacket(pkt)
-		if last && msg.pooled {
+		if msg.track > 0 {
+			c.packetAccounted(msg)
+		} else if last && msg.pooled {
 			c.recycleMessage(msg)
 		}
 		return
@@ -475,6 +554,22 @@ func deliverMatched(a any) {
 	n := pkt.node
 	c := n.cluster
 	last, msg := pkt.Last, pkt.Msg
+	if pkt.corrupt {
+		// NIC CRC check: a corrupted packet consumed wire and matching
+		// bandwidth but never reaches the Receiver; recovery layers see it
+		// as a loss.
+		msg.faulted = true
+		c.freePacket(pkt)
+		c.packetAccounted(msg)
+		return
+	}
+	if msg.track > 0 {
+		msg.touched = true
+		n.Recv.ReceivePacket(c.Eng.Now(), pkt)
+		c.freePacket(pkt)
+		c.packetAccounted(msg)
+		return
+	}
 	n.Recv.ReceivePacket(c.Eng.Now(), pkt)
 	c.freePacket(pkt)
 	if last && msg.pooled {

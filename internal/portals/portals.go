@@ -150,9 +150,20 @@ type NI struct {
 	ctLive  []*CT
 	ctFree  []*CT
 
+	// Retrans configures reliable puts (see retrans.go); rtx maps the
+	// current attempt's message ID to its retransmit record, rtxFree
+	// recycles records.
+	Retrans RetransConfig
+	rtx     map[uint64]*rtxRecord
+	rtxFree []*rtxRecord
+
 	// Drops counts packets discarded because no ME matched or the portal
 	// was disabled.
 	Drops uint64
+	// Retransmits and RetransFailures count reliable-put resends and
+	// abandoned reliable puts at this initiator.
+	Retransmits     uint64
+	RetransFailures uint64
 }
 
 // NewNI creates the logical interface for rank and installs it as the
@@ -168,6 +179,7 @@ func NewNI(c *netsim.Cluster, rank int) *NI {
 		outstanding: make(map[uint64]*pendingOp),
 		recvStates:  make(map[*netsim.Message]*recvState),
 		channels:    make(map[*netsim.Message]*ME),
+		rtx:         make(map[uint64]*rtxRecord),
 	}
 	node.Recv = ni
 	return ni
@@ -206,6 +218,7 @@ func (ni *NI) Reset() {
 	ni.ctLive = ni.ctLive[:0]
 	ni.releaseInFlight()
 	ni.Drops = 0
+	ni.Retrans = RetransConfig{}
 	ni.RT.Reset()
 }
 
@@ -251,6 +264,16 @@ func (ni *NI) releaseInFlight() {
 	clear(ni.outstanding)
 	clear(ni.recvStates)
 	clear(ni.channels)
+	// Records still in rtx each have exactly one pending timer, and the
+	// engine reset that precedes an NI reset dropped those events, so the
+	// records can be recycled here. (Acked records awaiting their timer are
+	// abandoned to the GC, like any state captured only by dropped events.)
+	for _, rec := range ni.rtx {
+		ni.freeRtx(rec)
+	}
+	clear(ni.rtx)
+	ni.Retransmits = 0
+	ni.RetransFailures = 0
 }
 
 // allocOp draws a zeroed pendingOp bound to this NI from the free list.

@@ -364,8 +364,24 @@ func (ni *NI) recvReply(now sim.Time, pkt *netsim.Packet) {
 	}
 }
 
-// recvAck resolves a put acknowledgment at the initiator.
+// recvAck resolves a put acknowledgment at the initiator. Reliable puts are
+// checked first: their ack marks the retransmit record (the pending timer
+// recycles it) and fires the MD's completion. Acks of superseded attempts
+// miss both maps and are ignored.
 func (ni *NI) recvAck(now sim.Time, pkt *netsim.Packet) {
+	if rec, ok := ni.rtx[pkt.Msg.ReplyTo]; ok {
+		delete(ni.rtx, pkt.Msg.ReplyTo)
+		rec.acked = true
+		if md := rec.a.MD; md != nil {
+			if md.CT != nil {
+				md.CT.Inc(now, 1)
+			}
+			if md.EQ != nil {
+				md.EQ.Append(Event{Type: EventAck, At: now, Length: rec.a.Length})
+			}
+		}
+		return
+	}
 	op := ni.outstanding[pkt.Msg.ReplyTo]
 	if op == nil {
 		return

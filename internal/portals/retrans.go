@@ -1,0 +1,161 @@
+package portals
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Reliable puts: timeout-and-retransmit recovery on top of the ack_req
+// machinery, built for impaired networks (netsim.Impairment). A reliable put
+// is a put with AckReq forced on; if no ack arrives within the timeout the
+// NIC resends the whole message (data re-staged from the MD) until it is
+// acked or the retry budget is exhausted. Completion is signalled through
+// the MD's CT/EQ by the ack alone — there is no send-side SEND event,
+// because injection no longer implies delivery.
+//
+// Semantics are at-least-once: a lost ack means the target deposits the
+// payload again. Exactly-once delivery requires a receiver that deduplicates
+// and still acks duplicates — the handlers/ftbcast dedup-and-forward ME is
+// the canonical example (finishMessage acknowledges even Drop outcomes).
+// For dedup-based exactly-once, keep payloads single-packet: a multi-packet
+// attempt that loses a non-header packet has already claimed the receiver's
+// dedup slot.
+//
+// Ownership: the retransmit timer owns its record. Exactly one timer is in
+// flight per record; an arriving ack only marks the record acked (and drops
+// it from the id map), and the timer recycles it on its next firing. Records
+// are pooled on NI-owned free lists — no closures, no sync.Pool — per the
+// rules in ARCHITECTURE.md.
+
+// RetransConfig configures reliable puts on an NI.
+type RetransConfig struct {
+	// Timeout is how long the initiator waits for an ack before resending.
+	// It must exceed the round-trip time of the largest reliable put or
+	// every put retransmits at least once. Zero disables ReliablePut.
+	Timeout sim.Time
+	// MaxTries bounds total send attempts (first send included); <= 0 means
+	// retry forever.
+	MaxTries int
+}
+
+// rtxRecord tracks one reliable put awaiting its ack.
+type rtxRecord struct {
+	ni    *NI
+	a     PutArgs
+	id    uint64 // message ID of the current attempt
+	tries int
+	acked bool
+}
+
+// ConfigureRetrans installs the NI's reliable-put configuration.
+func (ni *NI) ConfigureRetrans(cfg RetransConfig) { ni.Retrans = cfg }
+
+// allocRtx draws a zeroed retransmit record bound to this NI.
+func (ni *NI) allocRtx() *rtxRecord {
+	if n := len(ni.rtxFree); n > 0 {
+		rec := ni.rtxFree[n-1]
+		ni.rtxFree = ni.rtxFree[:n-1]
+		*rec = rtxRecord{ni: ni}
+		return rec
+	}
+	return &rtxRecord{ni: ni}
+}
+
+// freeRtx recycles a finished record.
+func (ni *NI) freeRtx(rec *rtxRecord) {
+	ni.rtxFree = append(ni.rtxFree, rec)
+}
+
+// buildReliable assembles one attempt's message: a fresh ID per attempt
+// (stale acks from superseded attempts must not resolve the current one),
+// payload re-staged from the MD, ack always requested, and no send-side
+// completion note — delivery is confirmed by the ack, not by injection.
+func (ni *NI) buildReliable(rec *rtxRecord) *netsim.Message {
+	a := &rec.a
+	m := ni.C.AllocMessage()
+	m.Type = netsim.OpPut
+	m.Src = ni.Node.Rank
+	m.Dst = a.Target
+	m.PTIndex = a.PTIndex
+	m.MatchBits = a.MatchBits
+	m.Offset = a.RemoteOffset
+	m.HdrData = a.HdrData
+	m.UserHdr = a.UserHdr
+	m.Length = a.Length
+	m.AckReq = true
+	if !a.NoData && a.MD != nil {
+		copy(m.StageData(a.Length), a.MD.Buf[a.LocalOffset:])
+	}
+	m.ID = ni.C.NextID()
+	rec.id = m.ID
+	ni.rtx[m.ID] = rec
+	return m
+}
+
+// ReliablePut posts a put that is retransmitted until acknowledged (or the
+// retry budget runs out). The host core is charged the injection overhead o
+// for the first attempt; retransmissions are NIC-autonomous. On the ack the
+// MD's CT increments / EQ receives EventAck; on giving up the CT records a
+// failure / the EQ receives EventError. The caller must keep the MD buffer
+// stable until then: every attempt re-reads it.
+func (ni *NI) ReliablePut(now sim.Time, a PutArgs) (sim.Time, error) {
+	if ni.Retrans.Timeout <= 0 {
+		return now, fmt.Errorf("portals: ReliablePut without ConfigureRetrans (timeout unset)")
+	}
+	if err := ni.validatePut(a); err != nil {
+		return now, err
+	}
+	rec := ni.allocRtx()
+	rec.a = a
+	rec.a.AckReq = true
+	rec.tries = 1
+	m := ni.buildReliable(rec)
+	coreFree := ni.C.HostSend(now, m)
+	ni.C.Eng.ScheduleCall(now+ni.Retrans.Timeout, runRtxTimer, rec)
+	return coreFree, nil
+}
+
+// runRtxTimer is the ScheduleCall entry point for a reliable put's timeout.
+// The timer is the record's owner: it recycles acked records, resends and
+// re-arms unacked ones, and reports failure when the budget is spent.
+func runRtxTimer(arg any) {
+	rec := arg.(*rtxRecord)
+	ni := rec.ni
+	if rec.acked {
+		ni.freeRtx(rec)
+		return
+	}
+	now := ni.C.Eng.Now()
+	if ni.Retrans.MaxTries > 0 && rec.tries >= ni.Retrans.MaxTries {
+		delete(ni.rtx, rec.id)
+		ni.RetransFailures++
+		ni.C.Faults.RetransFails++
+		if md := rec.a.MD; md != nil {
+			if md.CT != nil {
+				md.CT.IncFailure(now)
+			}
+			if md.EQ != nil {
+				md.EQ.Append(Event{Type: EventError, At: now, Length: rec.a.Length})
+			}
+		}
+		if ni.C.Rec.Enabled() {
+			ni.C.Rec.Recordf(ni.Node.Rank, "FAULT", now, now,
+				"put to %d abandoned after %d tries", rec.a.Target, rec.tries)
+		}
+		ni.freeRtx(rec)
+		return
+	}
+	delete(ni.rtx, rec.id)
+	rec.tries++
+	ni.Retransmits++
+	ni.C.Faults.Retransmits++
+	if ni.C.Rec.Enabled() {
+		ni.C.Rec.Recordf(ni.Node.Rank, "FAULT", now, now,
+			"retransmit to %d (try %d)", rec.a.Target, rec.tries)
+	}
+	m := ni.buildReliable(rec)
+	ni.C.DeviceSend(now, m)
+	ni.C.Eng.ScheduleCall(now+ni.Retrans.Timeout, runRtxTimer, rec)
+}

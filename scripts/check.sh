@@ -39,14 +39,18 @@ echo "== sweep determinism smoke (fresh vs Reset-reuse vs parallel) =="
 # merge or a state field missed by a Reset fails here before it can corrupt
 # a figure.
 go test -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
+# The same equality under a fixed fault model: impaired sweeps (jittered
+# fig3b, lossy ftbcast) must be byte-identical across fresh, Reset-reuse,
+# and parallel runs, fault counters included.
+go test -count=1 -run 'TestImpairedSweepDeterminism' ./internal/bench
 # Experiment-level concurrency in spinbench must match serial stdout.
 go test -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
-echo "== alloc budgets (engine schedule / transport / Table5c / Fig5a / SPC) =="
+echo "== alloc budgets (engine schedule / transport / retransmit / Table5c / Fig5a / SPC) =="
 # Ceilings from BENCH_core.json: 0 allocs per schedule+dispatch, <= 7 per
-# 256-packet message, the post-program-pooling Table 5c budget, the
-# post-triggered-op-pooling Fig 5a budget, and the post-portals-pooling
-# SPC budget.
+# 256-packet message, 0 per lossy reliable put in steady state, the
+# post-program-pooling Table 5c budget, the post-triggered-op-pooling
+# Fig 5a budget, and the post-portals-pooling SPC budget.
 go test -count=1 -run 'TestAllocBudgets' .
 
 echo "== perf smoke (BenchmarkFig3b, 1x) =="
