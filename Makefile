@@ -3,10 +3,16 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench bench-micro
+.PHONY: check build test vet lint race bench bench-micro
 
 check:
 	sh scripts/check.sh
+
+# lint runs the repo-specific analyzers (cmd/simlint): nosyncpool,
+# nowallclock, maporder, noclosuresched, poolretain, pkgdoc — each
+# enforcing an ARCHITECTURE.md contract clause.
+lint:
+	$(GO) run ./cmd/simlint ./...
 
 # race gates the parallel sweep / concurrent-experiment runners; CI runs
 # this as its own job.

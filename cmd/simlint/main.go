@@ -1,0 +1,29 @@
+// Command simlint is the repository's multichecker: it runs the six
+// analyzers that mechanically enforce the determinism and pooling
+// contracts of ARCHITECTURE.md — nosyncpool (free lists must be
+// engine-owned), nowallclock (no wall clock or global PRNG in simulation
+// code), maporder (no unordered map iteration), noclosuresched (no
+// closure scheduling on the engine hot path), poolretain (no pooled
+// *Packet/*Message homes outside the owner layers), and pkgdoc (every
+// package documents its role).
+//
+// Usage: go run ./cmd/simlint [packages]   (packages default to ./...)
+//
+// Exit status: 0 clean, 1 findings (printed file:line:col, go-vet style),
+// 2 load failure. Two annotations create audited exceptions, each
+// requiring a reason: //simlint:wallclock-ok <reason> for genuine
+// wall-clock measurement sites and //simlint:unordered-ok <reason> for
+// provably order-insensitive map walks. make lint, scripts/check.sh, and
+// both CI matrix jobs run this command on every merge.
+package main
+
+import (
+	"os"
+
+	"repro/scripts/simlint"
+	"repro/scripts/simlint/lintkit"
+)
+
+func main() {
+	os.Exit(lintkit.Run(simlint.Analyzers(), os.Args[1:], os.Stderr))
+}

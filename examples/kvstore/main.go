@@ -15,6 +15,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/spin"
 )
@@ -64,8 +65,18 @@ func main() {
 		"handler":  "a few hundred instructions, line rate",
 		"wormhole": "packets forwarded before the message completes",
 	}
+	// Insert and print in sorted key order: iterating the map directly
+	// would make both the simulated traffic order and the printed lines
+	// vary run to run with Go's randomized map iteration.
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
 	client := cluster.NI(0)
-	for k, v := range pairs {
+	for _, k := range keys {
+		v := pairs[k]
 		payload := append([]byte(k), []byte(v)...)
 		_, err = client.Put(cluster.Now(), spin.PutArgs{
 			MD:     client.MDBind(payload, nil, nil),
@@ -79,7 +90,8 @@ func main() {
 		cluster.Run()
 	}
 
-	for k, v := range pairs {
+	for _, k := range keys {
+		v := pairs[k]
 		got := spin.KVLookup(index, heap, buckets, bucketOf(k), []byte(k))
 		if string(got) != v {
 			log.Fatalf("lookup(%q) = %q, want %q", k, got, v)

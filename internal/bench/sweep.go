@@ -148,10 +148,10 @@ func (e *Env) FaultStats() netsim.FaultStats {
 		return netsim.FaultStats{}
 	}
 	s := e.faultAcc
-	for _, ec := range e.clusters {
+	for _, ec := range e.clusters { //simlint:unordered-ok commutative counter sums; result independent of iteration order
 		s.Add(ec.c.Faults)
 	}
-	for _, eng := range e.mpis {
+	for _, eng := range e.mpis { //simlint:unordered-ok commutative counter sums; result independent of iteration order
 		s.Add(eng.C.Faults)
 	}
 	for _, c := range e.freshC {

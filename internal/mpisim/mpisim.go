@@ -298,7 +298,7 @@ func (e *Engine) Reset(programs [][]Op) error {
 	e.C.ResetCore()
 	// The maps' values are owned by the rank-side lists below (or, for
 	// inflight, by the map itself), so free exactly once from the owner.
-	for _, fl := range e.inflight {
+	for _, fl := range e.inflight { //simlint:unordered-ok recycle order changes allocation behaviour only; records are zeroed on allocation
 		e.freeInflight(fl)
 	}
 	clear(e.inflight)

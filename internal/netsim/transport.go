@@ -178,10 +178,12 @@ type Cluster struct {
 	walkFree []*msgWalk
 	msgFree  []*Message
 
-	// deliveredCall is the pre-bound dispatcher for Message.Delivered,
-	// built once at construction so send-side completion schedules via
-	// ScheduleCall without a per-message closure.
-	deliveredCall func(any)
+	// deliveredCall and onDeliveredCall are the pre-bound dispatchers for
+	// Message.Delivered and Message.OnDelivered, built once at construction
+	// so send-side completion schedules via ScheduleCall without a
+	// per-message closure.
+	deliveredCall   func(any)
+	onDeliveredCall func(any)
 
 	// imp is the installed fault model (nil = perfect network); linkSeq
 	// counts packets per directed link, keying the impairment PRNG; and
@@ -207,6 +209,7 @@ func NewCluster(n int, p Params) (*Cluster, error) {
 	}
 	c := &Cluster{Eng: sim.NewEngine(), P: p}
 	c.deliveredCall = c.runDelivered
+	c.onDeliveredCall = c.runOnDelivered
 	c.Nodes = make([]*Node, n)
 	for i := range c.Nodes {
 		c.Nodes[i] = &Node{
@@ -363,6 +366,14 @@ func (c *Cluster) runDelivered(a any) {
 	m.Delivered(m.DeliveredArg, c.Eng.Now())
 }
 
+// runOnDelivered is the ScheduleCall dispatcher behind Message.OnDelivered.
+// The callback itself rides as the event argument (a func value is
+// pointer-shaped, so boxing it allocates nothing), captured at schedule
+// time so firing never re-reads the — by then possibly recycled — message.
+func (c *Cluster) runOnDelivered(a any) {
+	a.(func(sim.Time))(c.Eng.Now())
+}
+
 func (c *Cluster) allocPacket() *Packet {
 	if n := len(c.pktFree); n > 0 {
 		p := c.pktFree[n-1]
@@ -445,8 +456,10 @@ func (c *Cluster) Send(ready sim.Time, msg *Message) {
 	if msg.Delivered != nil {
 		c.Eng.ScheduleCall(lastInjected, c.deliveredCall, msg)
 	} else if msg.OnDelivered != nil {
-		done := msg.OnDelivered
-		c.Eng.Schedule(lastInjected, func() { done(c.Eng.Now()) })
+		// Same instant, same single sequence number as the closure form this
+		// replaces, so simulated output is untouched (determinism contract
+		// clause 1); the pre-bound dispatcher just drops the per-send closure.
+		c.Eng.ScheduleCall(lastInjected, c.onDeliveredCall, msg.OnDelivered)
 	}
 }
 

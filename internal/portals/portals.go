@@ -199,7 +199,7 @@ func (ni *NI) Reset() {
 	// only), and reclaimed EQs/CTs are returned to their post-construction
 	// state — a reused object is indistinguishable from a fresh one in
 	// simulated time.
-	for _, pte := range ni.pt {
+	for _, pte := range ni.pt { //simlint:unordered-ok recycle order changes allocation behaviour only; entries are reset when reissued
 		pte.EQ = nil
 		pte.priority = pte.priority[:0]
 		pte.overflow = pte.overflow[:0]
@@ -258,7 +258,7 @@ func (ni *NI) NewCT() *CT {
 // entries are zeroed on allocation, so recycle order changes allocation
 // behaviour only, never simulated time.
 func (ni *NI) releaseInFlight() {
-	for _, op := range ni.outstanding {
+	for _, op := range ni.outstanding { //simlint:unordered-ok recycle order changes allocation behaviour only; ops are zeroed on allocation
 		ni.freeOp(op)
 	}
 	clear(ni.outstanding)
@@ -268,7 +268,7 @@ func (ni *NI) releaseInFlight() {
 	// engine reset that precedes an NI reset dropped those events, so the
 	// records can be recycled here. (Acked records awaiting their timer are
 	// abandoned to the GC, like any state captured only by dropped events.)
-	for _, rec := range ni.rtx {
+	for _, rec := range ni.rtx { //simlint:unordered-ok recycle order changes allocation behaviour only; records are zeroed on allocation
 		ni.freeRtx(rec)
 	}
 	clear(ni.rtx)
@@ -315,7 +315,7 @@ func (ni *NI) allocSendNote() *sendNote {
 func (ni *NI) ResetInFlight() {
 	ni.releaseInFlight()
 	ni.Drops = 0
-	for _, pte := range ni.pt {
+	for _, pte := range ni.pt { //simlint:unordered-ok per-entry in-place resets are independent; no cross-entry state or allocation
 		pte.Enabled = true
 		for _, me := range pte.priority {
 			me.resetState()

@@ -136,16 +136,20 @@ func (r *Recorder) Lanes(rank int) []string {
 // Ranks returns the sorted set of ranks with any activity.
 func (r *Recorder) Ranks() []int {
 	r.build()
-	seen := map[int]bool{}
+	ranks := make([]int, 0, len(r.index))
 	for k := range r.index {
-		seen[k.rank] = true
-	}
-	ranks := make([]int, 0, len(seen))
-	for k := range seen {
-		ranks = append(ranks, k)
+		ranks = append(ranks, k.rank)
 	}
 	sort.Ints(ranks)
-	return ranks
+	// The index is keyed by (rank, lane), so a rank appears once per lane;
+	// collapse the sorted duplicates in place.
+	out := ranks[:0]
+	for _, v := range ranks {
+		if len(out) == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // End returns the latest span end, i.e. the chart horizon.

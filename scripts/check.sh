@@ -24,10 +24,15 @@ echo "== examples build =="
 # reproduces (the package-comment lint below checks the comment exists).
 go build ./examples/...
 
-echo "== package doc comments =="
-# Every package (internal, commands, examples) must carry a package-level
-# doc comment; see ARCHITECTURE.md for why the layer map depends on this.
-go run ./scripts/pkgdoclint
+echo "== simlint =="
+# Repo-specific analyzers, one per ARCHITECTURE.md contract clause:
+# nosyncpool (engine-owned free lists only), nowallclock (simulated time is
+# a function of the seed), maporder (no nondeterministic map iteration),
+# noclosuresched (pooled ScheduleCall over per-event closures), poolretain
+# (pooled transport objects stay with their owner packages), and pkgdoc
+# (every package documents its role). This subsumes the old standalone
+# pkgdoclint step; the scripts/pkgdoclint shim remains for one release.
+go run ./cmd/simlint ./...
 
 echo "== go test =="
 go test ./...

@@ -1,73 +1,27 @@
-// Command pkgdoclint enforces the repository's package-documentation rule:
-// every Go package (including commands and examples) must carry a
-// package-level doc comment in at least one of its non-test files. The
-// layer map in ARCHITECTURE.md stays trustworthy only if each package
-// states its own role, so scripts/check.sh (and therefore CI) runs this
-// lint on every merge.
+// Command pkgdoclint is a thin compatibility shim, kept for one release:
+// the package-doc-comment check now lives in the simlint multichecker as
+// the pkgdoc analyzer (scripts/simlint/pkgdoc), so the repository has a
+// single lint entry point. Prefer `go run ./cmd/simlint ./...` (or
+// `make lint`), which runs pkgdoc alongside the determinism and pooling
+// analyzers.
 //
 // Usage: go run ./scripts/pkgdoclint [dir]   (dir defaults to ".")
 //
-// Exits non-zero listing every package directory missing a doc comment.
+// Exits non-zero listing every package under dir missing a doc comment.
 package main
 
 import (
-	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
-	"sort"
-	"strings"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/pkgdoc"
 )
 
 func main() {
-	root := "."
+	pattern := "./..."
 	if len(os.Args) > 1 {
-		root = os.Args[1]
+		pattern = filepath.Join(os.Args[1], "...")
 	}
-	// docs[dir] records whether any non-test file in dir has a package doc
-	// comment; presence of a key means the dir contains buildable Go files.
-	docs := make(map[string]bool)
-	fset := token.NewFileSet()
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		dir := filepath.Dir(path)
-		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
-		if perr != nil {
-			return fmt.Errorf("%s: %v", path, perr)
-		}
-		docs[dir] = docs[dir] || f.Doc != nil
-		return nil
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "pkgdoclint: %v\n", err)
-		os.Exit(1)
-	}
-	var missing []string
-	for dir, ok := range docs {
-		if !ok {
-			missing = append(missing, dir)
-		}
-	}
-	if len(missing) > 0 {
-		sort.Strings(missing)
-		fmt.Fprintln(os.Stderr, "pkgdoclint: packages missing a package doc comment:")
-		for _, dir := range missing {
-			fmt.Fprintf(os.Stderr, "  %s\n", dir)
-		}
-		os.Exit(1)
-	}
+	os.Exit(lintkit.Run([]*lintkit.Analyzer{pkgdoc.Analyzer}, []string{pattern}, os.Stderr))
 }

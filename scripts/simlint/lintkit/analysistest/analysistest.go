@@ -1,0 +1,130 @@
+// Package analysistest runs a lintkit analyzer over a fixture directory
+// and checks its findings against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest. A want comment holds one or
+// more quoted regular expressions and asserts that the analyzer reports a
+// matching diagnostic on that line:
+//
+//	var p sync.Pool // want `sync\.Pool is forbidden`
+//
+// Fixture files live under testdata/ (ignored by the go tool, so
+// deliberate violations never break the build) and are type-checked under
+// a caller-chosen import path, which is how package-scoped analyzers
+// (nosyncpool, poolretain, ...) are exercised both inside and outside
+// their target scope.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// wantRx extracts the quoted expectations from a // want comment.
+var wantRx = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+}
+
+// Run type-checks the fixture directory dir as a package with import path
+// asPath, applies the analyzer, and reports any mismatch between its
+// diagnostics and the fixture's // want comments as test errors.
+func Run(t *testing.T, a *lintkit.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := loadFixture(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := lintkit.RunAnalyzers([]*lintkit.Package{pkg}, []*lintkit.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	matched := make([]bool, len(ds))
+	for _, w := range wants {
+		ok := false
+		for i, d := range ds {
+			if !matched[i] && d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+	for i, d := range ds {
+		if !matched[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+}
+
+// loadFixture parses and type-checks every .go file in dir as one package
+// with import path asPath.
+func loadFixture(dir, asPath string) (*lintkit.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return lintkit.LoadFiles(asPath, filenames)
+}
+
+// collectWants scans the fixture's comments for // want expectations.
+func collectWants(pkg *lintkit.Package) ([]want, error) {
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRx.FindAllString(c.Text[idx+len("// want "):], -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat := q[1 : len(q)-1] // backquoted form: literal body
+					if q[0] == '"' {
+						var err error
+						if pat, err = strconv.Unquote(q); err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

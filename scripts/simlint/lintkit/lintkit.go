@@ -1,0 +1,169 @@
+// Package lintkit is the analysis framework behind the repository's
+// simlint suite: a standard-library-only reimplementation of the subset
+// of golang.org/x/tools/go/analysis that the suite needs. Each check is
+// an *Analyzer whose Run inspects one type-checked package through a
+// *Pass, exactly like go/analysis — the API is kept shape-compatible so
+// the analyzers port to the real multichecker mechanically if the x/tools
+// dependency is ever vendored. Packages are loaded via `go list -deps
+// -export` plus the standard gc export-data importer (the same mechanism
+// x/tools/go/packages uses), so the linter needs no dependencies beyond
+// the Go toolchain already required to build the simulator.
+//
+// lintkit also owns the two source annotations the suite verifies:
+//
+//	//simlint:wallclock-ok <reason>   (used by the nowallclock analyzer)
+//	//simlint:unordered-ok <reason>   (used by the maporder analyzer)
+//
+// A directive suppresses its analyzer on its own line and the line
+// directly below, and must carry a non-empty reason; an empty reason is
+// itself a lint error, reported at the suppressed site.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of the module the suite lints.
+// Analyzers use it to scope themselves (e.g. nosyncpool applies under
+// ModulePath/internal only).
+const ModulePath = "repro"
+
+// An Analyzer is one named check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one reported finding, carrying its resolved position so
+// results can be sorted and printed without the originating FileSet.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// A Pass connects one Analyzer to one type-checked package, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// directives maps filename -> line -> the //simlint: directive whose
+	// comment starts on that line.
+	directives map[string]map[int]directive
+
+	report func(Diagnostic)
+}
+
+type directive struct {
+	name   string
+	reason string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether the site at pos is covered by the named
+// //simlint: directive (on the site's own line, or standalone on the line
+// above). A directive without a reason still suppresses the underlying
+// finding but is reported itself: annotations document *why* an exception
+// is safe, and an unexplained one is exactly the drift the suite exists
+// to catch.
+func (p *Pass) Allowed(name string, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines, ok := p.directives[position.Filename]
+	if !ok {
+		return false
+	}
+	for _, ln := range [2]int{position.Line, position.Line - 1} {
+		d, ok := lines[ln]
+		if !ok || d.name != name {
+			continue
+		}
+		if d.reason == "" {
+			p.Reportf(pos, "//simlint:%s needs a reason: state why this site is exempt", name)
+		}
+		return true
+	}
+	return false
+}
+
+// scanDirectives indexes every //simlint: line comment in the package.
+func scanDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]directive {
+	out := make(map[string]map[int]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//simlint:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]directive)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = directive{name: name, reason: strings.TrimSpace(reason)}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position (then analyzer, then message), so output is
+// deterministic regardless of load or map order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var ds []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := scanDirectives(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				directives: dirs,
+				report:     func(d Diagnostic) { ds = append(ds, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return ds, nil
+}

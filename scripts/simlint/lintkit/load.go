@@ -1,0 +1,276 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` for the given patterns in dir
+// and returns the decoded package records. -export compiles (or reuses the
+// build cache for) every listed package so each record carries the path of
+// its gc export data.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves import paths
+// through the given importPath->export-data-file map (built from a
+// `go list -deps -export` run).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// newInfo allocates the types.Info maps analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// typeCheck parses and type-checks the named files as one package with the
+// given import path, resolving imports through imp.
+func typeCheck(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, []*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, files, nil
+}
+
+// Load lists, parses, and type-checks the module packages matched by the
+// patterns (their test files are not loaded: the contracts the suite
+// enforces govern simulation code, and several — wall clocks in
+// benchmarks, unsorted map walks in assertions — are legitimate in tests).
+// Standard-library dependencies are consumed as export data only.
+// Packages are returned sorted by import path.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		filenames := make([]string, len(t.GoFiles))
+		for i, name := range t.GoFiles {
+			filenames[i] = filepath.Join(t.Dir, name)
+		}
+		pkg, _, err := typeCheck(fset, t.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks the given files as one package with
+// import path asPath, resolving their imports (and transitive
+// dependencies) with export data from a `go list` run at the module root.
+// The analysistest fixture runner uses it to check testdata packages —
+// which the go tool itself ignores — under any import path the analyzer
+// under test is scoped to.
+func LoadFiles(asPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	imports, err := fileImports(fset, filenames)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		root, err := moduleRoot()
+		if err != nil {
+			return nil, err
+		}
+		listed, err := goList(root, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkg, _, err := typeCheck(fset, asPath, filenames, exportImporter(fset, exports))
+	if err != nil {
+		return nil, err
+	}
+	pkg.Dir = filepath.Dir(filenames[0])
+	return pkg, nil
+}
+
+// fileImports returns the sorted union of import paths declared by the
+// files.
+func fileImports(fset *token.FileSet, filenames []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// moduleRoot returns the directory containing the enclosing module's
+// go.mod.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// Run loads the patterns, applies the analyzers, prints findings to w
+// (file:line:col: message (analyzer)), and returns the process exit code:
+// 0 clean, 1 findings, 2 load failure. It is the shared engine behind
+// cmd/simlint and the scripts/pkgdoclint shim.
+func Run(analyzers []*Analyzer, patterns []string, w io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(w, "simlint: %v\n", err)
+		return 2
+	}
+	ds, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "simlint: %v\n", err)
+		return 2
+	}
+	wd, _ := os.Getwd()
+	for _, d := range ds {
+		name := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, name); err == nil && !isParentPath(rel) {
+				name = rel
+			}
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(ds) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// isParentPath reports whether a relative path escapes the current
+// directory; such paths are printed absolute for clickability.
+func isParentPath(rel string) bool {
+	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
+}

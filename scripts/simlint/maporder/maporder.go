@@ -1,0 +1,204 @@
+// Package maporder flags `range` over map values in simulation code: map
+// iteration order is the classic silent determinism break, and the one
+// that would poison a parallel-DES merge. A range over a map is accepted
+// only when it is mechanically order-insensitive — the body does nothing
+// but append into slices and the very next statement sorts one of them
+// (the collect-then-sort idiom) — or when it carries an explicit
+// //simlint:unordered-ok <reason> annotation stating why order cannot
+// reach simulated time or printed output (e.g. free-list recycling that
+// changes allocation behaviour only, or commutative counter sums).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer flags unordered map iteration without a stated justification.
+var Analyzer = &lintkit.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over maps unless sorted after collection or annotated order-insensitive",
+	Run:  run,
+}
+
+// sortCalls lists the sort entry points recognized as establishing an
+// order after a collect loop, keyed by package path then function name.
+var sortCalls = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			for i, s := range stmts {
+				for {
+					if ls, ok := s.(*ast.LabeledStmt); ok {
+						s = ls.Stmt
+						continue
+					}
+					break
+				}
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					continue
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if pass.Allowed("unordered-ok", rs.Pos()) {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(stmts) {
+					next = stmts[i+1]
+				}
+				if collectThenSort(pass, rs, next) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "range over a map (%s): iteration order is nondeterministic; sort the keys (collect-then-sort), restructure onto a slice, or annotate //simlint:unordered-ok <reason> (ARCHITECTURE.md, determinism contract)", tv.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list owned by n, if it has one.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// collectThenSort reports whether rs is the collect half of the
+// collect-then-sort idiom: every statement in its body is an append into
+// a slice variable (arbitrarily nested in if/blocks, continue allowed),
+// and next — the statement directly after the loop — sorts one of those
+// slices.
+func collectThenSort(pass *lintkit.Pass, rs *ast.RangeStmt, next ast.Stmt) bool {
+	targets := make(map[types.Object]bool)
+	if !appendOnlyBody(pass, rs.Body.List, targets) || len(targets) == 0 {
+		return false
+	}
+	expr, ok := next.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || !sortCalls[pkgName.Imported().Path()][sel.Sel.Name] {
+		return false
+	}
+	sorted := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && targets[pass.TypesInfo.Uses[id]] {
+				sorted = true
+			}
+			return !sorted
+		})
+	}
+	return sorted
+}
+
+// appendOnlyBody reports whether every statement is `x = append(x, ...)`
+// (recording x in targets), a continue, or an if/block recursively made
+// of the same.
+func appendOnlyBody(pass *lintkit.Pass, stmts []ast.Stmt, targets map[types.Object]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !isSelfAppend(pass, s, targets) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.BlockStmt:
+			if !appendOnlyBody(pass, s.List, targets) {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || !appendOnlyBody(pass, s.Body.List, targets) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !appendOnlyBody(pass, e.List, targets) {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isSelfAppend matches `x = append(x, ...)` with x a plain variable, and
+// records x.
+func isSelfAppend(pass *lintkit.Pass, s *ast.AssignStmt, targets map[types.Object]bool) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	lobj := pass.TypesInfo.ObjectOf(lhs)
+	if lobj == nil || lobj != pass.TypesInfo.ObjectOf(arg0) {
+		return false
+	}
+	targets[lobj] = true
+	return true
+}

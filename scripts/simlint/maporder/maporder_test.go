@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/pkg", lintkit.ModulePath+"/internal/fixture")
+}

@@ -1,0 +1,78 @@
+// Package fixture exercises the maporder analyzer: bare map iteration
+// (violation), the collect-then-sort idiom (allowed, with and without a
+// filter), collection that is never sorted (violation), and the
+// //simlint:unordered-ok annotation with and without its required reason.
+package fixture
+
+import "sort"
+
+func violation(m map[string]int) string {
+	out := ""
+	for k := range m { // want `range over a map`
+		out += k
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectFiltered(m map[string]int) []string {
+	var big []string
+	for k, v := range m {
+		if v > 10 {
+			big = append(big, k)
+		}
+	}
+	sort.Slice(big, func(i, j int) bool { return big[i] < big[j] })
+	return big
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over a map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRange(s []int) int {
+	// Slices iterate in index order; only maps are flagged.
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func annotatedSameLine(m map[string]int) int {
+	n := 0
+	for range m { //simlint:unordered-ok commutative count; order cannot reach the result
+		n++
+	}
+	return n
+}
+
+func annotatedAbove(m map[string]int) int {
+	n := 0
+	//simlint:unordered-ok commutative count; order cannot reach the result
+	for range m {
+		n++
+	}
+	return n
+}
+
+func annotatedNoReason(m map[string]int) int {
+	n := 0
+	//simlint:unordered-ok
+	for range m { // want `//simlint:unordered-ok needs a reason`
+		n++
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+// Package noclosuresched flags func-literal arguments to
+// sim.Engine.Schedule and sim.Engine.After outside internal/sim itself.
+// Closure scheduling allocates on the hottest path in the simulator; the
+// alloc-budget contract (TestAllocBudgets, zero allocs per engine
+// schedule) holds because callers use the pooled ScheduleCall /
+// ScheduleCallSeq forms, which carry a pre-bound func(any) plus argument
+// in the event itself. Swapping a closure Schedule for a ScheduleCall at
+// the same instant is always output-safe: both consume exactly one
+// sequence number (ARCHITECTURE.md, determinism contract clause 1).
+package noclosuresched
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer flags closures handed to the engine's scheduling entry points.
+var Analyzer = &lintkit.Analyzer{
+	Name: "noclosuresched",
+	Doc:  "flag func literals passed to sim.Engine.Schedule/After; use ScheduleCall",
+	Run:  run,
+}
+
+const simPath = lintkit.ModulePath + "/internal/sim"
+
+func run(pass *lintkit.Pass) error {
+	if pass.Pkg.Path() == simPath {
+		// The engine package owns the closure form (Schedule is the
+		// compatibility API and After is built on it).
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Schedule" && name != "After" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != simPath || fn.Signature().Recv() == nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				if _, isLit := arg.(*ast.FuncLit); isLit {
+					pass.Reportf(arg.Pos(), "func literal passed to sim.Engine.%s allocates a closure per event: use ScheduleCall/ScheduleCallSeq with a pre-bound func(any) and a pooled argument (ARCHITECTURE.md, determinism contract clause 1; TestAllocBudgets)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

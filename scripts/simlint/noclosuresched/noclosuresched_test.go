@@ -1,0 +1,13 @@
+package noclosuresched_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/noclosuresched"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, noclosuresched.Analyzer, "testdata/pkg", lintkit.ModulePath+"/internal/fixture")
+}

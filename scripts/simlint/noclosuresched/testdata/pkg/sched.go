@@ -1,0 +1,44 @@
+// Package fixture exercises the noclosuresched analyzer: func literals
+// passed to sim.Engine.Schedule/After (violations), the pooled
+// ScheduleCall form and pre-bound func values (allowed), an unrelated
+// type with its own Schedule method (allowed), and proof that no
+// annotation exempts a closure-scheduling site.
+package fixture
+
+import "repro/internal/sim"
+
+func closures(e *sim.Engine) {
+	e.Schedule(5, func() {}) // want `func literal passed to sim\.Engine\.Schedule`
+	e.After(5, func() {})    // want `func literal passed to sim\.Engine\.After`
+}
+
+func run(any) {}
+
+func pooled(e *sim.Engine) {
+	// The steered-to form: a pre-bound func(any) plus a pooled argument.
+	e.ScheduleCall(5, run, nil)
+	e.ScheduleCallSeq(5, 1, run, nil)
+}
+
+func preBound(e *sim.Engine) {
+	// Only literals are flagged; a named func value allocates once, not
+	// per event.
+	fn := tick
+	e.Schedule(5, fn)
+}
+
+func tick() {}
+
+type localQueue struct{}
+
+func (localQueue) Schedule(at sim.Time, fn func()) {}
+
+func unrelated(q localQueue) {
+	// Same method name on a non-engine type is out of scope.
+	q.Schedule(5, func() {})
+}
+
+func annotatedStillFlagged(e *sim.Engine) {
+	//simlint:unordered-ok annotations never excuse closure scheduling
+	e.Schedule(5, func() {}) // want `func literal passed to sim\.Engine\.Schedule`
+}

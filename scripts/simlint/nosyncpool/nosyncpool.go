@@ -1,0 +1,47 @@
+// Package nosyncpool forbids sync.Pool in the simulator's internal
+// packages. Engines are single-threaded and every pooled object must come
+// from an engine-owned free list (a plain slice), so that reuse order is
+// deterministic rather than GC- and scheduler-dependent — determinism
+// contract clause 2 in ARCHITECTURE.md. There is no annotation escape:
+// a legitimate sync.Pool cannot exist under internal/.
+package nosyncpool
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer flags every reference to sync.Pool under internal/.
+var Analyzer = &lintkit.Analyzer{
+	Name: "nosyncpool",
+	Doc:  "forbid sync.Pool in internal/ (free lists must be engine-owned)",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), lintkit.ModulePath+"/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Pool" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "sync" {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "sync.Pool is forbidden under internal/: pooled objects must come from an engine-owned free list so reuse order is deterministic (ARCHITECTURE.md, determinism contract clause 2)")
+			return true
+		})
+	}
+	return nil
+}

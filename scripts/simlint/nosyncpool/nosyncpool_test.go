@@ -1,0 +1,17 @@
+package nosyncpool_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/nosyncpool"
+)
+
+func TestInternal(t *testing.T) {
+	analysistest.Run(t, nosyncpool.Analyzer, "testdata/internal", lintkit.ModulePath+"/internal/fixture")
+}
+
+func TestOutsideInternal(t *testing.T) {
+	analysistest.Run(t, nosyncpool.Analyzer, "testdata/outside", lintkit.ModulePath+"/scripts/fixture")
+}

@@ -1,0 +1,34 @@
+// Package fixture exercises the nosyncpool analyzer inside internal/:
+// a violating sync.Pool, the allowed engine-owned free-list form, and an
+// annotated case showing that no directive excuses sync.Pool.
+package fixture
+
+import "sync"
+
+// freeList is the allowed pooling form: an engine-owned slice, reused in
+// deterministic LIFO order.
+type freeList struct {
+	free []*int
+}
+
+func (f *freeList) get() *int {
+	if n := len(f.free); n > 0 {
+		p := f.free[n-1]
+		f.free = f.free[:n-1]
+		return p
+	}
+	return new(int)
+}
+
+var pool sync.Pool // want `sync\.Pool is forbidden under internal/`
+
+func fresh() any {
+	p := sync.Pool{New: func() any { return new(int) }} // want `sync\.Pool is forbidden under internal/`
+	return p.Get()
+}
+
+func annotated() {
+	//simlint:unordered-ok annotations do not excuse sync.Pool
+	var p sync.Pool // want `sync\.Pool is forbidden under internal/`
+	_ = p.Get()
+}

@@ -1,0 +1,9 @@
+// Package fixture exercises the nosyncpool analyzer outside internal/,
+// where it does not apply: tooling and scripts may use sync.Pool.
+package fixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new(int) }}
+
+func use() any { return pool.Get() }

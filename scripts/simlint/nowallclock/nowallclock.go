@@ -1,0 +1,73 @@
+// Package nowallclock forbids wall-clock reads and the global math/rand
+// generator in simulation code. Simulated time must be a pure function of
+// (seed, topology, traffic); time.Now and friends leak host time into
+// that function, and the process-global rand functions share state across
+// parallel sweep workers. Seeded generators (rand.New(rand.NewSource(n)),
+// as in spctrace) are allowed. Genuine measurement sites — spinbench's
+// -wall diagnostics — carry a //simlint:wallclock-ok <reason> annotation,
+// which the analyzer verifies is present and justified.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer flags wall-clock and global-PRNG uses lacking an annotation.
+var Analyzer = &lintkit.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/time.Since and global math/rand in simulation code",
+	Run:  run,
+}
+
+// wallFuncs are the package time functions that read or depend on the
+// host clock. Types and constants (time.Duration, time.Millisecond) are
+// fine — they are units, not clock reads.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "NewTimer": true,
+	"NewTicker": true, "Tick": true,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if !wallFuncs[sel.Sel.Name] {
+					return true
+				}
+				if pass.Allowed("wallclock-ok", sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock: simulated time must be a pure function of (seed, topology, traffic); measurement sites need //simlint:wallclock-ok <reason> (ARCHITECTURE.md, determinism contract)", sel.Sel.Name)
+			case "math/rand", "math/rand/v2":
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Signature().Recv() != nil || strings.HasPrefix(sel.Sel.Name, "New") {
+					return true
+				}
+				if pass.Allowed("wallclock-ok", sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "rand.%s uses the process-global generator, whose state is shared across parallel sweep workers: use a seeded rand.New(rand.NewSource(...)) owned by the simulation, or annotate //simlint:wallclock-ok <reason> (ARCHITECTURE.md, determinism contract)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

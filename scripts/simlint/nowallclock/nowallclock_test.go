@@ -1,0 +1,13 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/nowallclock"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata/pkg", lintkit.ModulePath+"/internal/fixture")
+}

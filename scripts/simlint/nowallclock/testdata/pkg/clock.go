@@ -1,0 +1,45 @@
+// Package fixture exercises the nowallclock analyzer: wall-clock reads
+// and global-PRNG calls (violations), time units and seeded generators
+// (allowed), and the //simlint:wallclock-ok annotation with and without
+// the required reason.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wall() time.Duration {
+	t0 := time.Now()      // want `time\.Now reads the wall clock`
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func units() time.Duration {
+	// Durations and unit constants are fine: they are values, not clock
+	// reads.
+	return 3 * time.Millisecond
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the process-global generator`
+}
+
+func seeded() int {
+	// The allowed form: a generator seeded and owned by the simulation.
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func annotatedSameLine() time.Time {
+	return time.Now() //simlint:wallclock-ok fixture: stands in for a -wall measurement site
+}
+
+func annotatedAbove() time.Time {
+	//simlint:wallclock-ok fixture: stands in for a -wall measurement site
+	return time.Now()
+}
+
+func annotatedNoReason() time.Time {
+	//simlint:wallclock-ok
+	return time.Now() // want `//simlint:wallclock-ok needs a reason`
+}

@@ -1,0 +1,30 @@
+// Package pkgdoc enforces the repository's package-documentation rule:
+// every package (internal, commands, examples) must carry a package-level
+// doc comment in at least one of its non-test files. The layer map in
+// ARCHITECTURE.md stays trustworthy only if each package states its own
+// role. This analyzer absorbs the former standalone scripts/pkgdoclint
+// tool, which remains as a thin shim over it for one release.
+package pkgdoc
+
+import (
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer reports packages lacking a package doc comment.
+var Analyzer = &lintkit.Analyzer{
+	Name: "pkgdoc",
+	Doc:  "require a package-level doc comment in every package",
+	Run:  run,
+}
+
+func run(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if f.Doc != nil {
+			return nil
+		}
+	}
+	// Report on the first file's package clause; which file carries the
+	// doc comment is the package author's choice.
+	pass.Reportf(pass.Files[0].Name.Pos(), "package %s has no package-level doc comment: state the package's role so the ARCHITECTURE.md layer map stays trustworthy", pass.Pkg.Name())
+	return nil
+}

@@ -1,0 +1,21 @@
+package pkgdoc_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/pkgdoc"
+)
+
+func TestMissingDoc(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/missing", lintkit.ModulePath+"/internal/fixture")
+}
+
+func TestDocumented(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/documented", lintkit.ModulePath+"/internal/fixture")
+}
+
+func TestAnnotatedStillFlagged(t *testing.T) {
+	analysistest.Run(t, pkgdoc.Analyzer, "testdata/annotated", lintkit.ModulePath+"/internal/fixture")
+}

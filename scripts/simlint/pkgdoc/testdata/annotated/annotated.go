@@ -1,0 +1,5 @@
+//simlint:unordered-ok annotations never substitute for a doc comment
+
+package fixture // want `package fixture has no package-level doc comment`
+
+func unused() {}

@@ -1,0 +1,4 @@
+// Package fixture has the doc comment pkgdoc requires, so it is clean.
+package fixture
+
+func unused() {}

@@ -1,0 +1,3 @@
+package fixture // want `package fixture has no package-level doc comment`
+
+func unused() {}

@@ -1,0 +1,125 @@
+// Package poolretain flags declarations that could retain pooled
+// transport objects outside their owner layers. *netsim.Packet is
+// recycled the moment ReceivePacket returns and pooled *netsim.Message
+// the moment its last packet's dispatch returns, so only the packages
+// ARCHITECTURE.md names in the pooling ownership rules — netsim itself,
+// portals, core, and mpisim — may declare struct fields or package-level
+// variables that hold them (directly or inside slices, arrays, maps, or
+// channels). Anywhere else, such a declaration is a retention bug waiting
+// to dangle: copy the header fields out instead, the way
+// core.MessageResult does. Locals and parameters are not flagged — they
+// are the dispatch window the rules permit.
+package poolretain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer flags long-lived homes for *netsim.Packet / *netsim.Message
+// outside the allowlisted owner packages.
+var Analyzer = &lintkit.Analyzer{
+	Name: "poolretain",
+	Doc:  "flag struct fields / package vars holding *netsim.Packet or *netsim.Message outside owner packages",
+	Run:  run,
+}
+
+const netsimPath = lintkit.ModulePath + "/internal/netsim"
+
+// owners are the packages the pooling ownership rules in ARCHITECTURE.md
+// allow to hold pooled transport objects.
+var owners = map[string]bool{
+	netsimPath:                               true,
+	lintkit.ModulePath + "/internal/portals": true,
+	lintkit.ModulePath + "/internal/core":    true,
+	lintkit.ModulePath + "/internal/mpisim":  true,
+}
+
+func run(pass *lintkit.Pass) error {
+	if owners[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				for _, field := range st.Fields.List {
+					tv, ok := pass.TypesInfo.Types[field.Type]
+					if !ok {
+						continue
+					}
+					if name := pooledName(tv.Type); name != "" {
+						pass.Reportf(field.Pos(), "struct field retains *netsim.%s beyond dispatch: only netsim/portals/core/mpisim may hold pooled transport objects — copy the fields you need instead (ARCHITECTURE.md, pooling ownership rules)", name)
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						continue
+					}
+					if name := pooledName(obj.Type()); name != "" {
+						pass.Reportf(id.Pos(), "package variable %s retains *netsim.%s beyond dispatch: only netsim/portals/core/mpisim may hold pooled transport objects (ARCHITECTURE.md, pooling ownership rules)", id.Name, name)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pooledName reports which pooled transport type ("Packet" or "Message")
+// the given type can hold, or "" if none. It looks through pointers,
+// slices, arrays, maps, and channels, but not through named types from
+// other packages: a named type that internally holds a pooled pointer is
+// its own package's responsibility, flagged at its declaration.
+func pooledName(t types.Type) string {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type) string
+	walk = func(t types.Type) string {
+		if seen[t] {
+			return ""
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Pointer:
+			if named, ok := t.Elem().(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && obj.Pkg().Path() == netsimPath {
+					if name := obj.Name(); name == "Packet" || name == "Message" {
+						return name
+					}
+				}
+				return ""
+			}
+			return walk(t.Elem())
+		case *types.Slice:
+			return walk(t.Elem())
+		case *types.Array:
+			return walk(t.Elem())
+		case *types.Map:
+			if name := walk(t.Key()); name != "" {
+				return name
+			}
+			return walk(t.Elem())
+		case *types.Chan:
+			return walk(t.Elem())
+		}
+		return ""
+	}
+	return walk(t)
+}

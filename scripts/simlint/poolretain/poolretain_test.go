@@ -1,0 +1,17 @@
+package poolretain_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/poolretain"
+)
+
+func TestOutsideOwners(t *testing.T) {
+	analysistest.Run(t, poolretain.Analyzer, "testdata/outside", lintkit.ModulePath+"/internal/fixture")
+}
+
+func TestOwnerPackage(t *testing.T) {
+	analysistest.Run(t, poolretain.Analyzer, "testdata/owner", lintkit.ModulePath+"/internal/mpisim")
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the poolretain analyzer outside the owner
+// packages: struct fields and package variables retaining pooled
+// *netsim.Packet / *netsim.Message (violations, including through
+// slices and maps), value-type copies and locals (allowed), and proof
+// that no annotation exempts a retaining declaration.
+package fixture
+
+import "repro/internal/netsim"
+
+type tracker struct {
+	last    *netsim.Packet             // want `struct field retains \*netsim\.Packet beyond dispatch`
+	pending []*netsim.Message          // want `struct field retains \*netsim\.Message beyond dispatch`
+	byTag   map[uint64]*netsim.Message // want `struct field retains \*netsim\.Message beyond dispatch`
+}
+
+type summary struct {
+	// Copies of the fields you need, and value types, are the allowed
+	// pattern.
+	bytes  int
+	source int
+	stats  netsim.FaultStats
+}
+
+var lastMsg *netsim.Message // want `package variable lastMsg retains \*netsim\.Message beyond dispatch`
+
+func inspect(m *netsim.Message) int {
+	// Parameters and locals live only for the dispatch; holding is what
+	// the analyzer forbids.
+	local := m
+	_ = local
+	return 0
+}
+
+//simlint:unordered-ok annotations never excuse retaining pooled objects
+var held *netsim.Packet // want `package variable held retains \*netsim\.Packet beyond dispatch`

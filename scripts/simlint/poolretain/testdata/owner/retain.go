@@ -1,0 +1,17 @@
+// Package fixture exercises the poolretain analyzer inside an owner
+// package: the same retaining declarations that are violations
+// elsewhere are the owners' job here, so nothing is flagged.
+package fixture
+
+import "repro/internal/netsim"
+
+type queue struct {
+	head    *netsim.Packet
+	pending []*netsim.Message
+}
+
+var inflight map[uint64]*netsim.Message
+
+func hold(m *netsim.Message) {
+	inflight[0] = m
+}

@@ -1,0 +1,30 @@
+// Package simlint assembles the repository's analyzer suite: six
+// lintkit analyzers, each enforcing one normative clause of
+// ARCHITECTURE.md mechanically instead of by prose and post-hoc golden
+// diffs. cmd/simlint runs the whole suite (`go run ./cmd/simlint ./...`,
+// wired into make lint, scripts/check.sh, and CI); the repo-wide smoke
+// test in this package keeps `go test ./...` failing on any new
+// violation even when the lint step itself is skipped.
+package simlint
+
+import (
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/maporder"
+	"repro/scripts/simlint/noclosuresched"
+	"repro/scripts/simlint/nosyncpool"
+	"repro/scripts/simlint/nowallclock"
+	"repro/scripts/simlint/pkgdoc"
+	"repro/scripts/simlint/poolretain"
+)
+
+// Analyzers returns the full suite, in reporting-name order.
+func Analyzers() []*lintkit.Analyzer {
+	return []*lintkit.Analyzer{
+		maporder.Analyzer,
+		noclosuresched.Analyzer,
+		nosyncpool.Analyzer,
+		nowallclock.Analyzer,
+		pkgdoc.Analyzer,
+		poolretain.Analyzer,
+	}
+}

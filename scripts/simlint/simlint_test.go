@@ -1,0 +1,35 @@
+package simlint_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/scripts/simlint"
+	"repro/scripts/simlint/lintkit"
+)
+
+// TestRepoLintClean asserts that every package in the module passes all
+// six analyzers, so introducing a violation fails go test ./... as well
+// as the explicit simlint steps in check.sh and CI.
+func TestRepoLintClean(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	pkgs, err := lintkit.Load(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags, err := lintkit.RunAnalyzers(pkgs, simlint.Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+}
