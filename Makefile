@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race bench bench-micro
+# VERSION stamps binaries with the code revision (internal/buildinfo); the
+# serve layer keys its result cache on it, so a rebuild can never serve a
+# stale cached table. Outside a git checkout it degrades to "dev".
+VERSION ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+LDFLAGS = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION)"
+
+.PHONY: check build test vet lint race bench bench-micro serve
 
 check:
 	sh scripts/check.sh
@@ -21,9 +27,16 @@ race:
 	$(GO) test -race -count=1 -run 'TestSweepResetAndParallelDeterminism' ./internal/bench
 	$(GO) test -race -count=1 -run 'TestImpairedSweepDeterminism' ./internal/bench
 	$(GO) test -race -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
+	$(GO) test -race -count=1 -run 'TestPoolRunByteIdentical' ./internal/bench
+	$(GO) test -race -count=1 -run 'TestConcurrentIdenticalRequestsRunOnce' ./internal/serve
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
+
+# serve runs the experiment service on :8080 with the version stamp baked
+# in (see README "Serving").
+serve:
+	$(GO) run $(LDFLAGS) ./cmd/spinserve
 
 vet:
 	$(GO) vet ./...

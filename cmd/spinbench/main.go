@@ -11,18 +11,21 @@
 //	spinbench -parallel 0      # parallelize across GOMAXPROCS workers
 //	spinbench -csv             # machine-readable output
 //	spinbench -list            # list experiment ids
+//	spinbench -list -json      # machine-readable registry metadata
 //	spinbench -wall            # report wall time + allocations per experiment
 //	spinbench -impair 'loss=0.01,jitter=2us,seed=7'
 //	                           # inject a deterministic network fault model
 //
 // -parallel N parallelizes on two levels: up to N independent experiments
-// run concurrently, and within each experiment the sweep shards its
-// measurement points across N workers (the PR-2 runner). Output stays
+// run concurrently, and every experiment's measurement points are queued
+// as tasks on one shared bench.Pool of N persistent workers — the
+// experiment goroutines only orchestrate (build sweeps, render tables);
+// simulation engines execute exclusively on pool workers, so a wide run is
+// bounded at N executing engines by construction. Output stays
 // byte-identical to a serial run: each experiment renders into its own
-// buffer and the buffers are flushed in selection order, points are
-// assigned to sweep workers deterministically and merged back in point
-// order, and every worker reuses its simulation state via the Reset
-// contract, which is simulation-equivalent to rebuilding.
+// buffer and the buffers are flushed in selection order, and rows merge in
+// point order regardless of which worker simulated them (each point is
+// hermetic under the reset-equals-fresh contract).
 //
 // -impair installs a seeded netsim.Impairment on every simulated cluster:
 // packet loss (random or every-Nth), corruption, extra latency and jitter,
@@ -35,6 +38,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 	"repro/internal/netsim"
 )
 
@@ -63,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Int("scale", 1, "subsample sweeps by this factor (1 = full)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := fs.Bool("list", false, "list experiments and exit")
+	asJSON := fs.Bool("json", false, "with -list, emit the registry metadata as JSON")
 	wall := fs.Bool("wall", false, "report wall-clock time and heap allocations per experiment on stderr")
 	parallel := fs.Int("parallel", 1, "concurrent experiments and sweep workers per experiment (1 = serial, 0 = GOMAXPROCS)")
 	impair := fs.String("impair", "", "deterministic network fault model, e.g. 'loss=0.01,jitter=2us,fail=0:1:0,seed=7'")
@@ -84,6 +90,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	exps := bench.Experiments()
 	if *list {
+		if *asJSON {
+			// The same metadata struct the server's GET /experiments
+			// serves: ids, scale bounds, column names, impairment support.
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(exps); err != nil {
+				fmt.Fprintf(stderr, "spinbench: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		for _, e := range exps {
 			fmt.Fprintf(stdout, "%-12s %s\n", e.ID, e.Desc)
 		}
@@ -91,12 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sel, unknown := selectExperiments(exps, *exp)
 	if len(unknown) > 0 {
-		ids := make([]string, len(exps))
-		for i, e := range exps {
-			ids[i] = e.ID
-		}
 		fmt.Fprintf(stderr, "spinbench: unknown experiment ids: %s (valid: %s)\n",
-			strings.Join(unknown, ", "), strings.Join(ids, ", "))
+			strings.Join(unknown, ", "), strings.Join(bench.ExperimentIDs(), ", "))
 		return 1
 	}
 	if len(sel) == 0 {
@@ -104,53 +117,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if *wall {
+		fmt.Fprintf(stderr, "spinbench: version %s\n", buildinfo.Version)
+	}
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 || len(sel) == 1 {
+	if workers <= 1 {
 		// Serial: run and flush experiment by experiment (streaming), which
-		// produces the reference byte stream the concurrent path matches.
-		// A single selected experiment still gets a budget so its sweep
-		// workers are bounded like any other run.
-		var budget *bench.Budget
-		if workers > 1 {
-			budget = bench.NewBudget(workers)
-		}
+		// produces the reference byte stream the pooled path matches.
 		for _, e := range sel {
 			var o expOutput
-			runExperiment(e, *scale, *parallel, budget, im, *csv, *wall, &o)
+			runExperiment(e, *scale, nil, im, *csv, *wall, &o)
 			if flushExperiment(e, &o, stdout, stderr) != 0 {
 				return 1
 			}
 		}
 		return 0
 	}
-	// Concurrent experiments: shard across workers exactly like bench.Sweep
-	// shards points — experiment i runs on worker i mod W. Each experiment
-	// renders into its own buffer, so the flush below reproduces the serial
-	// byte stream regardless of completion order. Note -wall alloc counts
-	// include concurrently running experiments in this mode
-	// (runtime.MemStats is process-global).
-	//
-	// Both parallelism levels draw on ONE shared budget of N slots: the
-	// experiment goroutines only orchestrate (build sweeps, render tables),
-	// while every simulation point — regardless of which experiment's sweep
-	// it belongs to — must hold a budget slot to execute. Without this the
-	// levels compose multiplicatively to up to N^2 concurrently executing
-	// engines on very wide runs.
-	if workers > len(sel) {
-		workers = len(sel)
+	// Parallel: ONE shared persistent pool of N workers executes every
+	// simulation point of every selected experiment as a queued task, so a
+	// wide run is bounded at N executing engines by construction (the
+	// pre-pool Budget bounded the same thing by semaphore around spawned
+	// goroutines). Up to N experiment goroutines only orchestrate — build
+	// sweeps, render tables — into per-experiment buffers, and the flush
+	// below reproduces the serial byte stream regardless of completion
+	// order. Note -wall alloc counts include concurrently running
+	// experiments in this mode (runtime.MemStats is process-global).
+	pool := bench.NewPool(workers)
+	defer pool.Close()
+	expWorkers := workers
+	if expWorkers > len(sel) {
+		expWorkers = len(sel)
 	}
-	budget := bench.NewBudget(*parallel)
 	outs := make([]expOutput, len(sel))
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < expWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := w; i < len(sel); i += workers {
-				runExperiment(sel[i], *scale, *parallel, budget, im, *csv, *wall, &outs[i])
+			for i := w; i < len(sel); i += expWorkers {
+				runExperiment(sel[i], *scale, pool, im, *csv, *wall, &outs[i])
 				if outs[i].err != nil {
 					return
 				}
@@ -192,19 +200,18 @@ type expOutput struct {
 	err  error
 }
 
-// runExperiment builds and runs one experiment, rendering into o. Its
-// sweep draws execution slots from budget (nil = unbounded), which is
-// shared across concurrently running experiments. A non-nil im is the
-// -impair fault model, installed on the sweep before it runs.
-func runExperiment(e bench.Experiment, scale, parallel int, budget *bench.Budget, im *netsim.Impairment, csv, wall bool, o *expOutput) {
+// runExperiment builds and runs one experiment, rendering into o. With a
+// non-nil pool its measurement points execute as queued tasks on the
+// shared persistent workers (this goroutine never touches an engine);
+// nil runs serially in place. A non-nil im is the -impair fault model.
+func runExperiment(e bench.Experiment, scale int, pool *bench.Pool, im *netsim.Impairment, csv, wall bool, o *expOutput) {
 	t0 := time.Now() //simlint:wallclock-ok -wall measures real elapsed time per experiment, reported on stderr only
 	var m0 runtime.MemStats
 	if wall {
 		runtime.ReadMemStats(&m0)
 	}
 	s := e.Build(scale)
-	s.SetImpairment(im)
-	tab, err := s.RunBudget(parallel, budget)
+	tab, err := s.Run(bench.RunOptions{Pool: pool, Impairment: im})
 	if err != nil {
 		o.err = err
 		return

@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
 )
 
 // runCLI drives the real pipeline and returns (stdout, exit code).
@@ -61,5 +64,39 @@ func TestListStable(t *testing.T) {
 	out, _ := runCLI(t, "-list")
 	if !strings.Contains(out, "fig3b") || !strings.Contains(out, "table5c") || !strings.Contains(out, "spc") {
 		t.Fatalf("-list missing experiments:\n%s", out)
+	}
+}
+
+// TestListJSON pins the machine-readable registry dump: valid JSON carrying
+// the metadata the serve layer also exposes, with the builder excluded.
+func TestListJSON(t *testing.T) {
+	out, _ := runCLI(t, "-list", "-json")
+	var exps []struct {
+		ID           string   `json:"id"`
+		Desc         string   `json:"desc"`
+		DefaultScale int      `json:"default_scale"`
+		MinScale     int      `json:"min_scale"`
+		MaxScale     int      `json:"max_scale"`
+		Columns      []string `json:"columns"`
+		Impairable   bool     `json:"impairable"`
+	}
+	if err := json.Unmarshal([]byte(out), &exps); err != nil {
+		t.Fatalf("-list -json is not valid JSON: %v\n%s", err, out)
+	}
+	if len(exps) != len(bench.Experiments()) {
+		t.Fatalf("-list -json has %d experiments, registry has %d", len(exps), len(bench.Experiments()))
+	}
+	byID := make(map[string]bool)
+	for _, e := range exps {
+		byID[e.ID] = true
+		if e.Desc == "" || len(e.Columns) == 0 || e.MinScale < 1 || e.MaxScale < e.MinScale {
+			t.Fatalf("metadata incomplete for %q: %+v", e.ID, e)
+		}
+	}
+	if !byID["fig3b"] || !byID["spc"] {
+		t.Fatalf("expected ids missing from -list -json:\n%s", out)
+	}
+	if strings.Contains(out, "Build") {
+		t.Fatal("-list -json leaked the builder field")
 	}
 }

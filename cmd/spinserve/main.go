@@ -1,0 +1,86 @@
+// Command spinserve runs the simulator as a long-running experiment
+// service: an HTTP/JSON API over the bench registry, backed by a
+// persistent worker pool and a content-addressed result cache
+// (internal/serve has the full contract).
+//
+// Usage:
+//
+//	spinserve                  # serve on 127.0.0.1:8080
+//	spinserve -addr :9000      # choose the listen address
+//	spinserve -workers 8       # pool size (0 = GOMAXPROCS)
+//
+// Endpoints:
+//
+//	GET  /experiments          # registry metadata (same as spinbench -list -json)
+//	POST /run                  # run or fetch: experiment, scale, impair, format, async
+//	GET  /jobs/{id}            # async job status and progress
+//	GET  /results/{key}        # cached result by content address
+//	GET  /healthz              # liveness + code-version stamp
+//	GET  /stats                # cache/pool/job counters
+//
+// Results are deterministic, so identical requests are cache hits with
+// byte-identical bodies; `X-Cache: hit|miss|coalesced` reports which. The
+// cache key includes the code-version stamp (internal/buildinfo), so a
+// rebuilt binary starts from a coherent, empty cache.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/buildinfo"
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("spinserve", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "persistent pool workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spinserve: %v\n", err)
+		return 1
+	}
+	srv := serve.New(serve.Config{Workers: *workers})
+	defer srv.Close()
+	httpSrv := &http.Server{Handler: srv}
+
+	// The "listening on" line is the startup handshake scripts/servesmoke
+	// parses; keep its shape stable.
+	fmt.Fprintf(os.Stderr, "spinserve: version %s listening on %s\n", buildinfo.Version, ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "spinserve: %v, shutting down\n", s)
+		httpSrv.Close()
+		<-done
+		return 0
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "spinserve: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}

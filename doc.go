@@ -118,14 +118,22 @@
 //     runs independent experiments concurrently with per-experiment output
 //     buffering, preserving the serial byte stream — both levels pinned by
 //     golden tests that `make check` runs, and exposed as
-//     `spinbench -parallel`. The two levels share one bench.Budget of N
-//     execution slots, so they bound to N concurrently executing points
-//     instead of composing to N^2; the budget throttles execution without
-//     touching assignment or order, so output bytes are unaffected.
+//     `spinbench -parallel`. The two levels share one persistent bench.Pool
+//     of N workers: every measurement point of every experiment queues as a
+//     task, each worker owns a long-lived Env, so a wide run executes at
+//     most N engines instead of composing to N^2; queuing order never
+//     reaches output order (points are hermetic and rows merge in
+//     registration order), so output bytes are unaffected.
+//   - Served experiments. internal/serve + cmd/spinserve run the registry
+//     as a long-running HTTP service on the same pool, with a
+//     content-addressed result cache keyed by (experiment, canonical
+//     params, code version) — determinism makes every result infinitely
+//     cacheable, so repeat requests are byte-identical cache hits and
+//     identical in-flight requests coalesce onto one computation.
 //
 // BENCH_core.json records the measured trajectory (with the enforced
 // allocation budgets); scripts/check.sh (or `make check`) runs tier-1 plus
-// the determinism, alloc-budget, and perf gates in one command, and the CI
-// workflow (.github/workflows/ci.yml) runs exactly that plus a race job on
-// every push and pull request.
+// the determinism, alloc-budget, perf, and spinserve gates in one command,
+// and the CI workflow (.github/workflows/ci.yml) runs exactly that plus a
+// race job on every push and pull request.
 package repro

@@ -78,7 +78,7 @@ func accumulateTime(e *Env, p netsim.Params, spin bool, size int) (sim.Time, err
 
 // Fig3d regenerates Figure 3d: remote accumulate completion time for both
 // NIC types.
-func Fig3d(scale int) (*Table, error) { return fig3dSweep(scale).Run(1) }
+func Fig3d(scale int) (*Table, error) { return fig3dSweep(scale).Run(RunOptions{}) }
 
 func fig3dSweep(scale int) *Sweep {
 	s := NewSweep(&Table{

@@ -73,7 +73,7 @@ func RunApp(e *Env, a apps.App, iterations int) (AppResult, error) {
 
 // Table5c regenerates Table 5c: full-application improvement from fully
 // offloaded matching protocols.
-func Table5c(scale int) (*Table, error) { return table5cSweep(scale).Run(1) }
+func Table5c(scale int) (*Table, error) { return table5cSweep(scale).Run(RunOptions{}) }
 
 // table5cSweep lays out one point per application. The replays draw their
 // engines from the Env's mpisim cache: applications sharing a rank count

@@ -182,7 +182,7 @@ func Fig5aProcs() []int { return []int{4, 16, 64, 256, 1024} }
 
 // Fig5a regenerates Figure 5a: broadcast latency on the discrete NIC for
 // 8 B and 64 KiB messages.
-func Fig5a(scale int) (*Table, error) { return fig5aSweep(scale).Run(1) }
+func Fig5a(scale int) (*Table, error) { return fig5aSweep(scale).Run(RunOptions{}) }
 
 func fig5aSweep(scale int) *Sweep {
 	s := NewSweep(&Table{
@@ -220,7 +220,7 @@ func fig5aSweep(scale int) *Sweep {
 // AblationBcastStore regenerates the §4.4.3 store-vs-stream comparison:
 // the paper reports store-and-forward within 5% of streaming for
 // single-packet messages and of Portals 4 for multi-packet messages.
-func AblationBcastStore() (*Table, error) { return bcastStoreSweep(1).Run(1) }
+func AblationBcastStore() (*Table, error) { return bcastStoreSweep(1).Run(RunOptions{}) }
 
 func bcastStoreSweep(int) *Sweep {
 	s := NewSweep(&Table{

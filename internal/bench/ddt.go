@@ -96,7 +96,7 @@ func Fig7aBlocksizes() []int {
 // achieved bandwidth vs blocksize. Both NIC types produce near-identical
 // curves (the paper plots them together); we emit the integrated one plus
 // a discrete spot check in the notes.
-func Fig7a(scale int) (*Table, error) { return fig7aSweep(scale).Run(1) }
+func Fig7a(scale int) (*Table, error) { return fig7aSweep(scale).Run(RunOptions{}) }
 
 func fig7aSweep(scale int) *Sweep {
 	s := NewSweep(&Table{

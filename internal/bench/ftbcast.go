@@ -192,7 +192,7 @@ func ftbcastPoint(e *Env, p netsim.Params, nprocs, msgs int) ([]string, error) {
 
 // FTBcastTable regenerates the fault-tolerance experiment: broadcast
 // delivery under injected link failures and packet loss.
-func FTBcastTable(scale int) (*Table, error) { return ftbcastSweep(scale).Run(1) }
+func FTBcastTable(scale int) (*Table, error) { return ftbcastSweep(scale).Run(RunOptions{}) }
 
 func ftbcastSweep(scale int) *Sweep {
 	s := NewSweep(&Table{

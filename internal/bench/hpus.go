@@ -41,7 +41,7 @@ func MaxHandlerTimeLine(p netsim.Params, k int, s int) sim.Time {
 // Fig4 regenerates Figure 4: HPUs needed to guarantee line rate as a
 // function of packet size, for the paper's four handler times.
 func Fig4() *Table {
-	t, _ := fig4Sweep(1).Run(1) // analytic points cannot error
+	t, _ := fig4Sweep(1).Run(RunOptions{}) // analytic points cannot error
 	return t
 }
 

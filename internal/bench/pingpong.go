@@ -165,10 +165,10 @@ func Fig3Sizes() []int {
 
 // Fig3b regenerates Figure 3b (ping-pong, integrated NIC). The scale
 // parameter subsamples the sweep for quick runs (1 = full).
-func Fig3b(scale int) (*Table, error) { return fig3bSweep(scale).Run(1) }
+func Fig3b(scale int) (*Table, error) { return fig3bSweep(scale).Run(RunOptions{}) }
 
 // Fig3c regenerates Figure 3c (ping-pong, discrete NIC).
-func Fig3c(scale int) (*Table, error) { return fig3cSweep(scale).Run(1) }
+func Fig3c(scale int) (*Table, error) { return fig3cSweep(scale).Run(RunOptions{}) }
 
 func fig3bSweep(scale int) *Sweep { return fig3(netsim.Integrated(), "fig3b", "integrated", scale) }
 func fig3cSweep(scale int) *Sweep { return fig3(netsim.Discrete(), "fig3c", "discrete", scale) }
@@ -206,7 +206,7 @@ func fig3(p netsim.Params, id, kind string, scale int) *Sweep {
 // AblationNoise regenerates the noise-sensitivity ablation (§5.1's
 // motivation, DESIGN.md A2): ping-pong under 1 kHz / 25 us OS noise. Only
 // the CPU-driven variant degrades.
-func AblationNoise() (*Table, error) { return noiseSweep(1).Run(1) }
+func AblationNoise() (*Table, error) { return noiseSweep(1).Run(RunOptions{}) }
 
 func noiseSweep(int) *Sweep {
 	s := NewSweep(&Table{

@@ -210,7 +210,7 @@ func raidUpdateTime(e *Env, p netsim.Params, spin bool, size int) (sim.Time, err
 
 // Fig7c regenerates Figure 7c: RAID-5 update time vs transfer size for
 // both NIC types.
-func Fig7c(scale int) (*Table, error) { return fig7cSweep(scale).Run(1) }
+func Fig7c(scale int) (*Table, error) { return fig7cSweep(scale).Run(RunOptions{}) }
 
 func fig7cSweep(scale int) *Sweep {
 	s := NewSweep(&Table{

@@ -23,7 +23,7 @@ func ReplayTrace(p netsim.Params, spin bool, recs []spctrace.Record) (sim.Time, 
 // of sPIN over RDMA for the five SPC traces, on both NIC types. The paper
 // reports improvements between 2.8% and 43.7%, with the largest on the
 // financial (OLTP) traces with the integrated NIC.
-func SPCTraces() (*Table, error) { return spcSweep(1).Run(1) }
+func SPCTraces() (*Table, error) { return spcSweep(1).Run(RunOptions{}) }
 
 // spcSweep lays out one point per trace. The trace records are generated
 // once at build time and shared read-only by the replay points; the RAID

@@ -3,6 +3,7 @@ package bench
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fattree"
 	"repro/internal/mpisim"
@@ -411,6 +412,9 @@ func NewSweep(t *Table) *Sweep { return &Sweep{table: t} }
 // disabled impairment restores the perfect network). Output stays
 // byte-identical across serial, parallel, fresh, and Reset-reuse runs for a
 // fixed impairment, exactly as for unimpaired sweeps.
+//
+// Deprecated: pass RunOptions.Impairment to Run instead. Kept one release
+// for callers of the pre-RunOptions surface.
 func (s *Sweep) SetImpairment(im *netsim.Impairment) {
 	if !im.Enabled() {
 		im = nil
@@ -420,6 +424,15 @@ func (s *Sweep) SetImpairment(im *netsim.Impairment) {
 
 // Faults returns the fault/recovery counters accumulated by the last run.
 func (s *Sweep) Faults() netsim.FaultStats { return s.faults }
+
+// Header returns the column names of the table this sweep fills. It is
+// valid before Run — the registry's metadata drift test compares it against
+// Experiment.Columns.
+func (s *Sweep) Header() []string { return s.table.Header }
+
+// Points returns the number of registered measurement points; Run reports
+// progress against this total.
+func (s *Sweep) Points() int { return len(s.points) }
 
 // Point appends one measurement point producing zero or more table rows.
 func (s *Sweep) Point(fn func(e *Env) ([][]string, error)) {
@@ -437,69 +450,120 @@ func (s *Sweep) Row(fn func(e *Env) ([]string, error)) {
 	})
 }
 
-// Run executes every point and returns the completed table. workers <= 1
-// runs serially; workers > 1 shards points round-robin across that many
-// goroutines; workers <= 0 uses GOMAXPROCS. On error, each worker abandons
-// the rest of its own stride (other workers run to completion — they don't
-// watch each other) and the earliest-indexed error is returned; since every
-// worker visits its points in increasing index order, stopping at its first
-// error never hides an earlier one. Successful output is byte-identical
-// across all worker counts.
-func (s *Sweep) Run(workers int) (*Table, error) {
-	return s.run(workers, false, nil)
+// RunOptions selects how Run executes a sweep. The zero value runs
+// serially, with cluster reuse, on a perfect network — the same behaviour
+// the old Run(1) had. Exactly one execution shape applies, chosen in this
+// order: Fresh (serial, no reuse), Pool (queued tasks on a shared pool),
+// Workers (per-run goroutines), serial.
+type RunOptions struct {
+	// Workers > 1 shards points round-robin across that many goroutines,
+	// one Env per worker; <= 1 runs serially. Callers that want "all
+	// cores" resolve GOMAXPROCS themselves (the deprecated RunBudget still
+	// does it for its old callers). Ignored when Pool is set or Fresh is
+	// true.
+	Workers int
+	// Budget, when non-nil, is the shared execution-slot semaphore each
+	// point holds while simulating; it bounds several concurrently running
+	// sweeps together. Superseded by Pool, which bounds execution
+	// structurally; ignored when Pool is set.
+	Budget *Budget
+	// Fresh disables cluster reuse: every point builds its system from
+	// scratch, serially — the from-scratch baseline the determinism
+	// goldens compare against.
+	Fresh bool
+	// Impairment installs a fault model for the whole run (nil or a
+	// disabled impairment = perfect network). Output stays byte-identical
+	// across serial, parallel, pool, fresh, and Reset-reuse runs for a
+	// fixed impairment.
+	Impairment *netsim.Impairment
+	// Pool, when non-nil, executes every point as a queued task on the
+	// shared persistent worker pool instead of spawning goroutines: the
+	// pool's long-lived Envs carry their cluster caches across runs, and
+	// its worker count — not this sweep's — bounds execution. Output is
+	// byte-identical to every other execution shape because points are
+	// hermetic (reset == fresh) and rows merge in point order.
+	Pool *Pool
+	// Progress, when non-nil, is called after each point completes with
+	// the number of completed points and the total. It may be called from
+	// worker goroutines concurrently; it must not touch simulation state.
+	Progress func(done, total int)
 }
 
-// RunBudget is Run with a shared execution budget: each point acquires a
-// slot for the duration of its simulation, so several sweeps running
-// concurrently (spinbench's experiment level) are bounded together instead
-// of multiplying their worker counts. Point assignment, row order, and
-// output bytes are identical to Run — the budget throttles execution, never
-// reorders it.
-func (s *Sweep) RunBudget(workers int, b *Budget) (*Table, error) {
-	return s.run(workers, false, b)
-}
-
-// RunFresh executes serially with cluster reuse disabled: every point
-// builds its system from scratch, exactly as the exported single-point
-// helpers do. It exists so tests can pin Run's reuse path against the
-// from-scratch baseline.
-func (s *Sweep) RunFresh() (*Table, error) {
-	return s.run(1, true, nil)
-}
-
-func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(s.points) {
-		workers = len(s.points)
+// Run executes every point under opts and returns the completed table. On
+// error, each worker abandons the rest of its own stride (other workers run
+// to completion — they don't watch each other) and the earliest-indexed
+// error is returned; since every worker visits its points in increasing
+// index order, stopping at its first error never hides an earlier one.
+// Successful output is byte-identical across all execution shapes: rows
+// merge in point registration order, and each point is an independent
+// simulation under the reset-equals-fresh contract.
+func (s *Sweep) Run(opts RunOptions) (*Table, error) {
+	im := opts.Impairment
+	if !im.Enabled() {
+		im = s.impair // deprecated SetImpairment path; already normalized
 	}
 	rows := make([][][]string, len(s.points))
 	errs := make([]error, len(s.points))
 	s.faults = netsim.FaultStats{}
-	if workers <= 1 {
+	var done atomic.Int64
+	progress := func() {
+		if opts.Progress != nil {
+			opts.Progress(int(done.Add(1)), len(s.points))
+		}
+	}
+	workers := opts.Workers
+	if workers > len(s.points) {
+		workers = len(s.points)
+	}
+	switch {
+	case !opts.Fresh && opts.Pool != nil:
+		// Queued tasks on the persistent pool: whichever worker dequeues a
+		// point runs it on its long-lived Env. Fault counters are charged
+		// per point by snapshot delta, so concurrent sweeps sharing the
+		// pool each see exactly their own faults.
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i := range s.points {
+			wg.Add(1)
+			point := s.points[i]
+			out := i
+			opts.Pool.submit(func(e *Env) {
+				defer wg.Done()
+				e.impair = im
+				before := e.FaultStats()
+				rows[out], errs[out] = point(e)
+				delta := e.FaultStats().Sub(before)
+				mu.Lock()
+				s.faults.Add(delta)
+				mu.Unlock()
+				progress()
+			})
+		}
+		wg.Wait()
+	case opts.Fresh || workers <= 1:
 		var e *Env
-		if !fresh {
+		if !opts.Fresh {
 			e = NewEnv()
-		} else if s.impair != nil {
+		} else if im != nil {
 			// The from-scratch baseline still needs the fault model: a
 			// no-cache Env applies it without reusing anything.
 			e = NewEnv()
 			e.noCache = true
 		}
 		if e != nil {
-			e.impair = s.impair
+			e.impair = im
 		}
 		for i, fn := range s.points {
-			b.acquire()
+			opts.Budget.acquire()
 			rows[i], errs[i] = fn(e)
-			b.release()
+			opts.Budget.release()
+			progress()
 			if errs[i] != nil {
 				break
 			}
 		}
 		s.faults.Add(e.FaultStats())
-	} else {
+	default:
 		envs := make([]*Env, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -507,12 +571,13 @@ func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 			go func() {
 				defer wg.Done()
 				e := NewEnv()
-				e.impair = s.impair
+				e.impair = im
 				envs[w] = e
 				for i := w; i < len(s.points); i += workers {
-					b.acquire()
+					opts.Budget.acquire()
 					rows[i], errs[i] = s.points[i](e)
-					b.release()
+					opts.Budget.release()
+					progress()
 					if errs[i] != nil {
 						return
 					}
@@ -535,33 +600,25 @@ func (s *Sweep) run(workers int, fresh bool, b *Budget) (*Table, error) {
 	return s.table, nil
 }
 
-// Experiment is one regenerable table or figure: an id and description for
-// CLI listings, and a builder that lays out the sweep at a given subsample
-// scale (1 = full resolution). cmd/spinbench runs these; the per-figure
-// functions (Fig3b, Table5c, ...) are serial conveniences over the same
-// builders.
-type Experiment struct {
-	ID    string
-	Desc  string
-	Build func(scale int) *Sweep
+// RunBudget is Run with the pre-RunOptions signature: workers <= 0 uses
+// GOMAXPROCS, and each point acquires a slot from b for the duration of its
+// simulation.
+//
+// Deprecated: use Run(RunOptions{Workers: n, Budget: b}); for a persistent
+// bounded pool use RunOptions.Pool, which replaces the spawn-then-bound
+// model with real task queuing. Kept one release.
+func (s *Sweep) RunBudget(workers int, b *Budget) (*Table, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return s.Run(RunOptions{Workers: workers, Budget: b})
 }
 
-// Experiments returns every experiment of the paper's evaluation, in the
-// order spinbench prints them.
-func Experiments() []Experiment {
-	return []Experiment{
-		{"fig3b", "ping-pong, integrated NIC", fig3bSweep},
-		{"fig3c", "ping-pong, discrete NIC", fig3cSweep},
-		{"fig3d", "remote accumulate, both NICs", fig3dSweep},
-		{"fig4", "HPUs needed for line rate (model)", fig4Sweep},
-		{"fig5a", "binomial broadcast, discrete NIC", fig5aSweep},
-		{"table5c", "application speedups from offloaded matching", table5cSweep},
-		{"fig7a", "strided datatype receive", fig7aSweep},
-		{"fig7c", "distributed RAID-5 update", fig7cSweep},
-		{"spc", "SPC storage trace replay on RAID-5", spcSweep},
-		{"noise", "ablation: OS-noise sensitivity", noiseSweep},
-		{"bcast-store", "ablation: store-and-forward vs streaming", bcastStoreSweep},
-		{"trees", "ablation: binomial vs pipeline broadcast", treesSweep},
-		{"ftbcast", "fault-tolerant broadcast under injected faults", ftbcastSweep},
-	}
+// RunFresh executes serially with cluster reuse disabled: every point
+// builds its system from scratch, exactly as the exported single-point
+// helpers do.
+//
+// Deprecated: use Run(RunOptions{Fresh: true}). Kept one release.
+func (s *Sweep) RunFresh() (*Table, error) {
+	return s.Run(RunOptions{Fresh: true})
 }

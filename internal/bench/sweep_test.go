@@ -44,13 +44,13 @@ func TestSweepResetAndParallelDeterminism(t *testing.T) {
 	for _, id := range []string{"fig3b", "fig5a", "table5c", "spc", "fig7a"} {
 		scale := 4
 		exp := buildExperiment(t, id)
-		freshTab, err := exp.Build(scale).RunFresh()
+		freshTab, err := exp.Build(scale).Run(RunOptions{Fresh: true})
 		if err != nil {
 			t.Fatalf("%s fresh: %v", id, err)
 		}
 		fresh := tableCSV(freshTab)
 
-		reuseTab, err := exp.Build(scale).Run(1)
+		reuseTab, err := exp.Build(scale).Run(RunOptions{})
 		if err != nil {
 			t.Fatalf("%s serial reuse: %v", id, err)
 		}
@@ -58,7 +58,7 @@ func TestSweepResetAndParallelDeterminism(t *testing.T) {
 			t.Fatalf("%s: Reset-reuse output differs from fresh-cluster output:\n--- fresh ---\n%s--- reuse ---\n%s", id, fresh, reuse)
 		}
 
-		parTab, err := exp.Build(scale).Run(4)
+		parTab, err := exp.Build(scale).Run(RunOptions{Workers: 4})
 		if err != nil {
 			t.Fatalf("%s parallel: %v", id, err)
 		}
@@ -123,10 +123,10 @@ func TestSweepErrorPropagates(t *testing.T) {
 		}
 		return s
 	}
-	if _, err := build().Run(1); err != errPoint {
+	if _, err := build().Run(RunOptions{}); err != errPoint {
 		t.Fatalf("serial: err = %v, want errPoint", err)
 	}
-	if _, err := build().Run(3); err != errPoint {
+	if _, err := build().Run(RunOptions{Workers: 3}); err != errPoint {
 		t.Fatalf("parallel: err = %v, want errPoint", err)
 	}
 }
@@ -181,8 +181,7 @@ func TestImpairedSweepDeterminism(t *testing.T) {
 		exp := buildExperiment(t, tc.id)
 
 		fresh := exp.Build(scale)
-		fresh.SetImpairment(tc.im)
-		freshTab, err := fresh.RunFresh()
+		freshTab, err := fresh.Run(RunOptions{Fresh: true, Impairment: tc.im})
 		if err != nil {
 			t.Fatalf("%s impaired fresh: %v", tc.id, err)
 		}
@@ -193,8 +192,7 @@ func TestImpairedSweepDeterminism(t *testing.T) {
 		}
 
 		serial := exp.Build(scale)
-		serial.SetImpairment(tc.im)
-		serialTab, err := serial.Run(1)
+		serialTab, err := serial.Run(RunOptions{Impairment: tc.im})
 		if err != nil {
 			t.Fatalf("%s impaired serial: %v", tc.id, err)
 		}
@@ -206,8 +204,7 @@ func TestImpairedSweepDeterminism(t *testing.T) {
 		}
 
 		par := exp.Build(scale)
-		par.SetImpairment(tc.im)
-		parTab, err := par.Run(4)
+		parTab, err := par.Run(RunOptions{Workers: 4, Impairment: tc.im})
 		if err != nil {
 			t.Fatalf("%s impaired parallel: %v", tc.id, err)
 		}

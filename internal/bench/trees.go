@@ -84,7 +84,7 @@ func treeBroadcastTime(e *Env, p netsim.Params, tree handlers.Tree, nprocs, size
 // leaves as future work (§4.4.3): binomial (latency-optimal, log depth)
 // versus pipeline (bandwidth-optimal chain) broadcast on sPIN. Small
 // messages favor the binomial tree; large ones the pipeline.
-func AblationTrees() (*Table, error) { return treesSweep(1).Run(1) }
+func AblationTrees() (*Table, error) { return treesSweep(1).Run(RunOptions{}) }
 
 func treesSweep(int) *Sweep {
 	s := NewSweep(&Table{

@@ -1,0 +1,17 @@
+// Package buildinfo carries the code-version stamp every build embeds.
+// Makefile builds set it to the abbreviated git revision via
+//
+//	-ldflags "-X repro/internal/buildinfo.Version=$(git rev-parse --short HEAD)"
+//
+// and everything else (plain `go build`, `go test`) falls back to "dev".
+// The stamp joins every serve-layer cache key, so a result cached by one
+// binary can never be served by a binary built from different code — a
+// rebuild invalidates the whole cache by construction. spinbench's -wall
+// diagnostics and spinserve's /healthz report it for the same reason:
+// results are only comparable across runs that print the same stamp.
+package buildinfo
+
+// Version is the code-version stamp: a short git revision for Makefile
+// builds, "dev" otherwise. It is a variable only so the linker can set it;
+// nothing may write it at run time.
+var Version = "dev"

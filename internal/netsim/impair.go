@@ -309,6 +309,22 @@ func (s *FaultStats) Add(other FaultStats) {
 	s.RetransFails += other.RetransFails
 }
 
+// Sub returns s minus earlier, counter by counter. Counters are monotone
+// within one environment's lifetime, so the difference of two snapshots
+// taken around a unit of work attributes exactly that work's faults — the
+// serve layer uses this to charge per-point fault counts to jobs sharing a
+// long-lived worker pool.
+func (s FaultStats) Sub(earlier FaultStats) FaultStats {
+	return FaultStats{
+		Lost:         s.Lost - earlier.Lost,
+		Blocked:      s.Blocked - earlier.Blocked,
+		Corrupted:    s.Corrupted - earlier.Corrupted,
+		Delayed:      s.Delayed - earlier.Delayed,
+		Retransmits:  s.Retransmits - earlier.Retransmits,
+		RetransFails: s.RetransFails - earlier.RetransFails,
+	}
+}
+
 // Any reports whether any counter is nonzero.
 func (s *FaultStats) Any() bool {
 	return s.Lost != 0 || s.Blocked != 0 || s.Corrupted != 0 ||

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+)
+
+// result is one cached experiment outcome: the canonical request identity
+// plus both renderings, computed once at store time so every later hit
+// returns the exact same bytes (the byte-identity guarantee is literal —
+// repeats serve the same slice).
+type result struct {
+	key    string
+	expID  string
+	scale  int
+	impair string
+	points int
+	csv    []byte
+	json   []byte
+	faults netsim.FaultStats
+}
+
+// flight is one in-progress computation: the leader (first requester of a
+// key) runs the sweep, everyone else arriving before it finishes blocks on
+// ch and reads res/err after the close — the singleflight that keeps N
+// identical concurrent requests from running N sweeps.
+type flight struct {
+	ch    chan struct{} // closed when res/err are set
+	res   *result
+	err   error
+	done  atomic.Int64 // points finished, for job progress
+	total atomic.Int64
+}
+
+// resultJSON is the JSON rendering of a result.
+type resultJSON struct {
+	Experiment string       `json:"experiment"`
+	Scale      int          `json:"scale"`
+	Impair     string       `json:"impair,omitempty"`
+	Version    string       `json:"version"`
+	Key        string       `json:"key"`
+	Title      string       `json:"title"`
+	Header     []string     `json:"header"`
+	Rows       [][]string   `json:"rows"`
+	Notes      string       `json:"notes,omitempty"`
+	Faults     *statsFaults `json:"faults,omitempty"`
+}
+
+// getOrRun resolves a canonical request to a result, reporting how:
+// "hit" (served from cache), "coalesced" (joined another request's
+// in-flight computation), or "miss" (this call computed it). Errors are
+// never cached — a failed run reruns on the next request.
+func (s *Server) getOrRun(c canonical) (*result, string, error) {
+	key := s.cacheKey(c)
+	s.mu.Lock()
+	if res := s.cache[key]; res != nil {
+		s.hits++
+		s.mu.Unlock()
+		return res, "hit", nil
+	}
+	if f := s.flights[key]; f != nil {
+		s.coalesced++
+		s.mu.Unlock()
+		<-f.ch
+		return f.res, "coalesced", f.err
+	}
+	f := &flight{ch: make(chan struct{})}
+	s.flights[key] = f
+	s.misses++
+	s.mu.Unlock()
+
+	res, err := s.runFlight(key, c, f)
+
+	s.mu.Lock()
+	if err == nil {
+		s.cache[key] = res
+		s.faults.Add(res.faults)
+	}
+	delete(s.flights, key)
+	s.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.ch) // after res/err are set: waiters read them only post-close
+	return res, "miss", err
+}
+
+// runFlight executes one experiment on the pool and renders the result.
+// This is the only function that builds sweeps, and the sweep's points
+// execute exclusively on pool workers — the calling HTTP (or job)
+// goroutine just waits.
+func (s *Server) runFlight(key string, c canonical, f *flight) (*result, error) {
+	sweep := c.Exp.Build(c.Scale)
+	f.total.Store(int64(sweep.Points()))
+	tab, err := sweep.Run(bench.RunOptions{
+		Pool:       s.pool,
+		Impairment: c.Impair,
+		Progress:   func(done, total int) { f.done.Store(int64(done)) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &result{
+		key:    key,
+		expID:  c.Exp.ID,
+		scale:  c.Scale,
+		impair: c.Key,
+		points: sweep.Points(),
+		faults: sweep.Faults(),
+	}
+	var csvBuf bytes.Buffer
+	tab.CSV(&csvBuf) // exactly the bytes `spinbench -csv` prints for this table
+	res.csv = csvBuf.Bytes()
+
+	rj := resultJSON{
+		Experiment: res.expID,
+		Scale:      res.scale,
+		Impair:     res.impair,
+		Version:    s.version,
+		Key:        key,
+		Title:      tab.Title,
+		Header:     tab.Header,
+		Rows:       tab.Rows,
+		Notes:      tab.Notes,
+	}
+	if res.faults.Any() {
+		wf := wireFaults(res.faults)
+		rj.Faults = &wf
+	}
+	var jsonBuf bytes.Buffer
+	enc := json.NewEncoder(&jsonBuf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rj); err != nil {
+		return nil, err
+	}
+	res.json = jsonBuf.Bytes()
+	return res, nil
+}
+
+// writeResult writes a result in the requested format with the cache
+// provenance headers (X-Cache: hit|miss|coalesced, X-Result-Key).
+func writeResult(w http.ResponseWriter, res *result, format, source string) {
+	w.Header().Set("X-Cache", source)
+	w.Header().Set("X-Result-Key", res.key)
+	if format == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(res.json)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.csv)
+}
+
+// handleRun is POST /run: validate, then either compute-or-fetch
+// synchronously, or enqueue a job and return its id (async=true).
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, err := parseRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	c, err := s.validate(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if c.Async {
+		j := s.submitJob(c)
+		writeJSON(w, http.StatusAccepted, s.jobStatus(j))
+		return
+	}
+	res, source, err := s.getOrRun(c)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeResult(w, res, c.Format, source)
+}

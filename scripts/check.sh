@@ -69,4 +69,17 @@ go test -count=1 -run 'TestFig7aWallClock' .
 echo "== alloc smoke (BenchmarkClusterSendLarge, hot path) =="
 go test -run='^$' -bench=BenchmarkClusterSendLarge -benchtime=100x -benchmem ./internal/netsim
 
+echo "== spinserve smoke (serve vs CLI byte-identity + cache hit) =="
+# End-to-end over a real socket with version-stamped binaries: start
+# spinserve, POST a small experiment, diff the CSV byte-for-byte against
+# the same build's spinbench -csv, then re-request and require a cache hit
+# (X-Cache: hit) with identical bytes. Runs in every CI matrix job because
+# CI runs this script.
+SMOKEDIR=$(mktemp -d)
+trap 'rm -rf "$SMOKEDIR"' EXIT
+VERSION=$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+go build -ldflags "-X repro/internal/buildinfo.Version=$VERSION" -o "$SMOKEDIR/spinserve" ./cmd/spinserve
+go build -ldflags "-X repro/internal/buildinfo.Version=$VERSION" -o "$SMOKEDIR/spinbench" ./cmd/spinbench
+go run ./scripts/servesmoke "$SMOKEDIR/spinserve" "$SMOKEDIR/spinbench"
+
 echo "check.sh: all green"

@@ -1,0 +1,130 @@
+// Command servesmoke is the end-to-end smoke test scripts/check.sh runs
+// against the real binaries: it starts a freshly built spinserve on an
+// ephemeral port, requests a small experiment, and diffs the response
+// byte-for-byte against what the same build's spinbench -csv prints —
+// then re-requests and asserts the cache served it (X-Cache: hit) with
+// identical bytes. It exercises the acceptance criteria of the serve
+// layer over a real TCP socket, where httptest suites can't see ldflags
+// stamping or process startup.
+//
+// Usage: servesmoke <spinserve-binary> <spinbench-binary>
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "servesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: ok")
+}
+
+const expID = "fig3b"
+const scale = 64
+
+func run() error {
+	if len(os.Args) != 3 {
+		return fmt.Errorf("usage: servesmoke <spinserve-binary> <spinbench-binary>")
+	}
+	spinserve, spinbench := os.Args[1], os.Args[2]
+
+	// Reference bytes: what the CLI prints for the same request.
+	var want bytes.Buffer
+	cli := exec.Command(spinbench, "-exp", expID, "-scale", fmt.Sprint(scale), "-csv")
+	cli.Stdout = &want
+	cli.Stderr = os.Stderr
+	if err := cli.Run(); err != nil {
+		return fmt.Errorf("spinbench reference run: %v", err)
+	}
+
+	// Start the server on an ephemeral port; its post-listen stderr line
+	// ("spinserve: version V listening on ADDR") is the startup handshake,
+	// so no sleep-and-retry polling is needed.
+	srv := exec.Command(spinserve, "-addr", "127.0.0.1:0", "-workers", "2")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting spinserve: %v", err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		srv.Wait()
+	}()
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if addr == "" {
+		return fmt.Errorf("spinserve never reported its listen address")
+	}
+	go io.Copy(os.Stderr, stderr) // keep draining so the server never blocks on stderr
+
+	base := "http://" + addr
+	first, cache1, err := post(base + "/run?experiment=" + expID + fmt.Sprintf("&scale=%d", scale))
+	if err != nil {
+		return err
+	}
+	if cache1 != "miss" {
+		return fmt.Errorf("first request X-Cache = %q, want miss", cache1)
+	}
+	if !bytes.Equal(first, want.Bytes()) {
+		return fmt.Errorf("server CSV differs from spinbench -csv:\n--- spinbench ---\n%s--- spinserve ---\n%s", want.String(), first)
+	}
+	second, cache2, err := post(base + "/run?experiment=" + expID + fmt.Sprintf("&scale=%d", scale))
+	if err != nil {
+		return err
+	}
+	if cache2 != "hit" {
+		return fmt.Errorf("repeat request X-Cache = %q, want hit", cache2)
+	}
+	if !bytes.Equal(second, first) {
+		return fmt.Errorf("repeat request bytes differ from first")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		return fmt.Errorf("healthz = %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// post issues POST /run and returns (body, X-Cache header).
+func post(url string) ([]byte, string, error) {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return nil, "", fmt.Errorf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("POST %s = %d: %s", url, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Cache"), nil
+}
