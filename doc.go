@@ -124,6 +124,22 @@
 //     most N engines instead of composing to N^2; queuing order never
 //     reaches output order (points are hermetic and rows merge in
 //     registration order), so output bytes are unaffected.
+//   - Conservative parallel DES. Where parallel sweeps shard independent
+//     measurement points, `spinbench -lp K` parallelizes a single
+//     simulation: netsim.NewClusterLP partitions the node slice into K
+//     contiguous shards, each owning a private engine, and sim.Windows
+//     advances them in conservative synchronous windows whose lookahead is
+//     the minimum cross-partition link latency (cross-shard sends migrate
+//     at the window barrier; a walk-level priority key makes tie-breaking
+//     independent of which engine an event lives on). Output is
+//     byte-identical to serial at every K — pinned by a randomized
+//     equivalence suite — so partitioning buys wall-clock only: on one
+//     core, ~9% on Table 5c from splitting one large event heap into K
+//     small ones (heap pop dominates the serial profile); on multi-core
+//     machines the shards also run concurrently within each window. The
+//     normative contract (partitioning, lookahead, the flush-time
+//     violation panic, the pri key, pooling across the seam) is
+//     ARCHITECTURE.md "Parallel DES".
 //   - Served experiments. internal/serve + cmd/spinserve run the registry
 //     as a long-running HTTP service on the same pool, with a
 //     content-addressed result cache keyed by (experiment, canonical

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestLPEquivalenceRandomized is the cross-mode equivalence suite pinning
+// the parallel-DES contract: for randomized (scale, impairment) draws of
+// fig3b, table5c, and ftbcast, the CSV output and accumulated fault
+// counters must be byte-identical across the serial runner and the
+// logical-process runner at 2, 4, and 7 LPs. 7 is deliberately a
+// non-divisor of every cluster size, exercising the uneven-partition path;
+// table5c is the experiment whose mpisim replays genuinely partition,
+// while fig3b and ftbcast pin that portals-based clusters stay serial (LP
+// is a documented no-op for them) instead of silently diverging. The
+// generator is seeded, so a failure reproduces exactly; scripts/check.sh
+// and the CI -race job run this test as the merge gate for the -lp mode.
+func TestLPEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20170601)) // sPIN's SC'17 submission year
+	cases := []struct {
+		id       string
+		allowImp bool
+	}{
+		{"fig3b", true},
+		{"table5c", true},
+		{"ftbcast", true},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 2; trial++ {
+			scale := 4 + rng.Intn(13) // [4, 16]
+			var im *netsim.Impairment
+			if tc.allowImp && trial > 0 {
+				im = &netsim.Impairment{
+					Seed:         uint64(1 + rng.Intn(1000)),
+					ExtraLatency: sim.Time(rng.Intn(500)) * sim.Nanosecond,
+					Jitter:       sim.Time(rng.Intn(300)) * sim.Nanosecond,
+				}
+				if tc.id == "ftbcast" {
+					// Only ftbcast has recovery machinery for lost packets.
+					im.Loss = 0.01 + 0.02*rng.Float64()
+				}
+			}
+			exp := buildExperiment(t, tc.id)
+
+			serial := exp.Build(scale)
+			serialTab, err := serial.Run(RunOptions{Impairment: im})
+			if err != nil {
+				t.Fatalf("%s scale=%d serial: %v", tc.id, scale, err)
+			}
+			want := tableCSV(serialTab)
+			wantFaults := serial.Faults()
+
+			for _, lp := range []int{2, 4, 7} {
+				s := exp.Build(scale)
+				tab, err := s.Run(RunOptions{Impairment: im, LP: lp})
+				if err != nil {
+					t.Fatalf("%s scale=%d lp=%d: %v", tc.id, scale, lp, err)
+				}
+				if got := tableCSV(tab); got != want {
+					t.Fatalf("%s scale=%d impair=%v: lp=%d output differs from serial:\n--- serial ---\n%s--- lp ---\n%s",
+						tc.id, scale, im.Key(), lp, want, got)
+				}
+				if s.Faults() != wantFaults {
+					t.Fatalf("%s scale=%d impair=%v: lp=%d fault counters diverged: %+v vs %+v",
+						tc.id, scale, im.Key(), lp, s.Faults(), wantFaults)
+				}
+			}
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Env struct {
 	// service has no recovery layer, so impairing it would only wedge
 	// replays.
 	impair *netsim.Impairment
+	// lp is the logical-process count requested for mpisim replays (0 or 1 =
+	// serial). Like impair it joins the mpisim cache key: a partitioned
+	// engine must never be reused for a serial point or vice versa. Output
+	// is byte-identical at any lp, so it never needs to join envKey —
+	// portals-based clusters always run serially.
+	lp int
 	// noCache disables reuse while keeping the impairment plumbing: the
 	// RunFresh baseline of impaired determinism tests builds every system
 	// from scratch but still needs the fault model applied.
@@ -176,6 +182,7 @@ type mpiKey struct {
 	p        netsim.Params // Topo cleared; represented by topo below
 	topo     fattree.Topology
 	impair   string // canonical impairment key (netsim.Impairment.Key)
+	lp       int    // logical-process count (0/1 = serial)
 }
 
 // mpiEngine returns a replay engine for cfg primed with the given rank
@@ -185,6 +192,9 @@ type mpiKey struct {
 func (e *Env) mpiEngine(cfg mpisim.Config, progs [][]mpisim.Op) (*mpisim.Engine, error) {
 	if e != nil && e.impair != nil {
 		cfg.Impair = e.impair // retry defaults are filled in by mpisim.New
+	}
+	if e != nil {
+		cfg.LP = e.lp
 	}
 	if e == nil || cfg.Noise != nil || e.noCache {
 		eng, err := mpisim.New(cfg, progs)
@@ -196,7 +206,7 @@ func (e *Env) mpiEngine(cfg mpisim.Config, progs [][]mpisim.Op) (*mpisim.Engine,
 	k := mpiKey{
 		n: len(progs), mode: cfg.Mode, eager: cfg.EagerThreshold,
 		recvPost: cfg.RecvPostCost, p: cfg.Params, topo: *cfg.Params.Topo,
-		impair: e.impair.Key(),
+		impair: e.impair.Key(), lp: e.lp,
 	}
 	k.p.Topo = nil
 	if eng, ok := e.mpis[k]; ok {
@@ -483,6 +493,16 @@ type RunOptions struct {
 	// byte-identical to every other execution shape because points are
 	// hermetic (reset == fresh) and rows merge in point order.
 	Pool *Pool
+	// LP > 1 partitions every mpisim replay in the sweep into up to that
+	// many logical processes advancing on private engines under a
+	// conservative window protocol (netsim.NewClusterLP). Output — every
+	// row and every fault counter — is byte-identical to the serial run;
+	// only wall-clock changes. Experiments that never replay mpisim traces
+	// ignore it: portals-based clusters always run serially. LP composes
+	// with Pool/Workers multiplicatively (each concurrent point runs up to
+	// LP engine goroutines), so callers sharing a machine should divide
+	// their worker budget by LP.
+	LP int
 	// Progress, when non-nil, is called after each point completes with
 	// the number of completed points and the total. It may be called from
 	// worker goroutines concurrently; it must not touch simulation state.
@@ -530,6 +550,7 @@ func (s *Sweep) Run(opts RunOptions) (*Table, error) {
 			opts.Pool.submit(func(e *Env) {
 				defer wg.Done()
 				e.impair = im
+				e.lp = opts.LP
 				before := e.FaultStats()
 				rows[out], errs[out] = point(e)
 				delta := e.FaultStats().Sub(before)
@@ -544,14 +565,16 @@ func (s *Sweep) Run(opts RunOptions) (*Table, error) {
 		var e *Env
 		if !opts.Fresh {
 			e = NewEnv()
-		} else if im != nil {
-			// The from-scratch baseline still needs the fault model: a
-			// no-cache Env applies it without reusing anything.
+		} else if im != nil || opts.LP > 1 {
+			// The from-scratch baseline still needs the fault model (and
+			// the LP partitioning): a no-cache Env applies both without
+			// reusing anything.
 			e = NewEnv()
 			e.noCache = true
 		}
 		if e != nil {
 			e.impair = im
+			e.lp = opts.LP
 		}
 		for i, fn := range s.points {
 			opts.Budget.acquire()
@@ -572,6 +595,7 @@ func (s *Sweep) Run(opts RunOptions) (*Table, error) {
 				defer wg.Done()
 				e := NewEnv()
 				e.impair = im
+				e.lp = opts.LP
 				envs[w] = e
 				for i := w; i < len(s.points); i += workers {
 					opts.Budget.acquire()

@@ -65,6 +65,14 @@ func TestSweepResetAndParallelDeterminism(t *testing.T) {
 		if par := tableCSV(parTab); par != fresh {
 			t.Fatalf("%s: parallel output differs from serial output:\n--- serial ---\n%s--- parallel ---\n%s", id, fresh, par)
 		}
+
+		lpTab, err := exp.Build(scale).Run(RunOptions{LP: 4})
+		if err != nil {
+			t.Fatalf("%s lp: %v", id, err)
+		}
+		if lp := tableCSV(lpTab); lp != fresh {
+			t.Fatalf("%s: LP-partitioned output differs from serial output:\n--- serial ---\n%s--- lp ---\n%s", id, fresh, lp)
+		}
 	}
 }
 

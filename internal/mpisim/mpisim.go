@@ -97,6 +97,12 @@ type Config struct {
 	// when retry is enabled). An exchange that exhausts its budget stops
 	// progressing and surfaces as a deadlock from Run.
 	MaxRetries int
+
+	// LP partitions the cluster into up to LP logical processes advancing
+	// concurrently under a conservative lookahead window
+	// (netsim.NewClusterLP); 0 or 1 replays serially. Simulated output is
+	// byte-identical at any LP — partitioning changes wall-clock time only.
+	LP int
 }
 
 // DefaultRetryTimeout is the rendezvous-control retry interval installed by
@@ -177,10 +183,19 @@ type pullDest struct {
 	rr *recvReq
 }
 
-// rank is one simulated MPI process.
+// rank is one simulated MPI process. Every mutable field — program state,
+// protocol maps, free lists, counters — is owned by the rank and touched
+// only by events on its node's engine, which is what makes the LP mode's
+// concurrent windows race-free: a rank's protocol state never crosses the
+// shard seam (senders and receivers each key their own maps; see the field
+// comments).
 type rank struct {
 	id  int
 	eng *Engine
+	// nc is the transport cluster owning this rank's node: the shard in LP
+	// mode, the root cluster when serial. All of the rank's events schedule
+	// on nc.Eng, and its wire messages come from nc's free list.
+	nc  *netsim.Cluster
 	cpu *hostsim.CPU
 	// nz is the rank's noise model, built once at construction (not once
 	// per compute phase) and shared with the CPU.
@@ -194,6 +209,37 @@ type rank struct {
 
 	sends []*sendReq
 	recvs []*recvReq
+
+	// inflight assembles wire messages arriving at this rank.
+	inflight map[*netsim.Message]*inflight
+	// rdvPull maps rendezvous ids this rank announced (as sender) to their
+	// completion state; the pull arrives back at this rank and deletes them.
+	rdvPull map[uint64]*sendReq
+	// pullWait maps rendezvous ids this rank is pulling (as receiver) to the
+	// receive awaiting the data.
+	pullWait map[uint64]pullDest
+	// rtsSeen records rendezvous ids whose RTS this rank already processed,
+	// so a retransmitted RTS cannot double-match (only populated when retry
+	// is on).
+	rtsSeen map[uint64]struct{}
+
+	// Rank-owned free lists for per-message protocol state (deliberately not
+	// sync.Pool: each rank's events are single-threaded and reuse order must
+	// be deterministic for bit-reproducible replays). Objects are zeroed
+	// when drawn, so recycling changes allocation behaviour only, and every
+	// object's lifecycle stays on the rank that drew it. Wire messages come
+	// from the owning cluster's free list (netsim.Cluster.AllocMessage) and
+	// are recycled by the transport at last-packet dispatch.
+	recvFree []*recvReq
+	sendFree []*sendReq
+	paFree   []*pendingArrival
+	inflFree []*inflight
+	ctlFree  []*ctlRetry
+
+	// Per-rank result counters, folded into Res by Run.
+	messages    uint64
+	copies      uint64
+	retransmits uint64
 
 	// inMPI is true while the rank is inside an MPI call (WaitAll);
 	// the baseline can only progress protocols then.
@@ -214,34 +260,12 @@ type Engine struct {
 	Cfg  Config
 	rank []*rank
 
-	inflight map[*netsim.Message]*inflight
-	// rdvPull maps rendezvous ids to sender-side completion state.
-	rdvPull map[uint64]*sendReq
-	// pullWait maps rendezvous ids to the receiver awaiting the data.
-	pullWait map[uint64]pullDest
-	// rtsSeen records rendezvous ids whose RTS was already processed, so a
-	// retransmitted RTS cannot double-match (only populated when retry is
-	// on).
-	rtsSeen map[uint64]struct{}
-
-	// Engine-owned free lists for per-message protocol state (deliberately
-	// not sync.Pool: the engine is single-threaded and reuse order must be
-	// deterministic for bit-reproducible replays). Objects are zeroed when
-	// drawn, so recycling changes allocation behaviour only. Wire messages
-	// come from the cluster's own free list (netsim.Cluster.AllocMessage)
-	// and are recycled by the transport at last-packet dispatch.
-	recvFree []*recvReq
-	sendFree []*sendReq
-	paFree   []*pendingArrival
-	inflFree []*inflight
-	ctlFree  []*ctlRetry
-
 	Res Result
 }
 
 // New builds a replay engine for the given per-rank programs.
 func New(cfg Config, programs [][]Op) (*Engine, error) {
-	c, err := netsim.NewCluster(len(programs), cfg.Params)
+	c, err := netsim.NewClusterLP(len(programs), cfg.Params, cfg.LP)
 	if err != nil {
 		return nil, err
 	}
@@ -254,21 +278,21 @@ func New(cfg Config, programs [][]Op) (*Engine, error) {
 	if cfg.RetryTimeout > 0 && cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 16
 	}
-	e := &Engine{
-		C:        c,
-		Cfg:      cfg,
-		inflight: make(map[*netsim.Message]*inflight),
-		rdvPull:  make(map[uint64]*sendReq),
-		pullWait: make(map[uint64]pullDest),
-		rtsSeen:  make(map[uint64]struct{}),
-	}
+	e := &Engine{C: c, Cfg: cfg}
 	e.rank = make([]*rank, len(programs))
 	for i, prog := range programs {
 		var nz *noise.Model
 		if cfg.Noise != nil {
 			nz = cfg.Noise(i)
 		}
-		e.rank[i] = &rank{id: i, eng: e, cpu: hostsim.New(c, i, nz), nz: nz, ops: prog}
+		e.rank[i] = &rank{
+			id: i, eng: e, nc: c.NodeCluster(i),
+			cpu: hostsim.New(c, i, nz), nz: nz, ops: prog,
+			inflight: make(map[*netsim.Message]*inflight),
+			rdvPull:  make(map[uint64]*sendReq),
+			pullWait: make(map[uint64]pullDest),
+			rtsSeen:  make(map[uint64]struct{}),
+		}
 		c.Nodes[i].Recv = &nodeRecv{e: e, r: e.rank[i]}
 	}
 	return e, nil
@@ -296,28 +320,28 @@ func (e *Engine) Reset(programs [][]Op) error {
 		return fmt.Errorf("mpisim: Reset with %d programs on a %d-rank engine", len(programs), len(e.rank))
 	}
 	e.C.ResetCore()
-	// The maps' values are owned by the rank-side lists below (or, for
-	// inflight, by the map itself), so free exactly once from the owner.
-	for _, fl := range e.inflight { //simlint:unordered-ok recycle order changes allocation behaviour only; records are zeroed on allocation
-		e.freeInflight(fl)
-	}
-	clear(e.inflight)
-	clear(e.rdvPull)
-	clear(e.pullWait)
-	clear(e.rtsSeen)
 	e.Res = Result{}
 	for i, r := range e.rank {
+		// The maps' values are owned by the rank-side lists below (or, for
+		// inflight, by the map itself), so free exactly once from the owner.
+		for _, fl := range r.inflight { //simlint:unordered-ok recycle order changes allocation behaviour only; records are zeroed on allocation
+			r.freeInflight(fl)
+		}
+		clear(r.inflight)
+		clear(r.rdvPull)
+		clear(r.pullWait)
+		clear(r.rtsSeen)
 		for _, rr := range r.recvs {
-			e.freeRecvReq(rr)
+			r.freeRecvReq(rr)
 		}
 		for _, sr := range r.sends {
-			e.freeSendReq(sr)
+			r.freeSendReq(sr)
 		}
 		for _, pa := range r.unexpected {
-			e.freePA(pa)
+			r.freePA(pa)
 		}
 		for _, pa := range r.pendingProgress {
-			e.freePA(pa)
+			r.freePA(pa)
 		}
 		r.ops = programs[i]
 		r.pc = 0
@@ -325,6 +349,9 @@ func (e *Engine) Reset(programs [][]Op) error {
 		r.unexpected = r.unexpected[:0]
 		r.sends = r.sends[:0]
 		r.recvs = r.recvs[:0]
+		r.messages = 0
+		r.copies = 0
+		r.retransmits = 0
 		r.inMPI = false
 		r.mpiEnter = 0
 		r.mpiBlocked = 0
@@ -336,44 +363,44 @@ func (e *Engine) Reset(programs [][]Op) error {
 	return nil
 }
 
-// Free-list accessors. Every object is zeroed on allocation so pooled reuse
-// can never leak state between messages or replays.
+// Free-list accessors (rank-owned). Every object is zeroed on allocation so
+// pooled reuse can never leak state between messages or replays.
 
-func (e *Engine) allocRecvReq() *recvReq {
-	if n := len(e.recvFree); n > 0 {
-		rr := e.recvFree[n-1]
-		e.recvFree = e.recvFree[:n-1]
+func (r *rank) allocRecvReq() *recvReq {
+	if n := len(r.recvFree); n > 0 {
+		rr := r.recvFree[n-1]
+		r.recvFree = r.recvFree[:n-1]
 		*rr = recvReq{}
 		return rr
 	}
 	return &recvReq{}
 }
 
-func (e *Engine) freeRecvReq(rr *recvReq) { e.recvFree = append(e.recvFree, rr) }
+func (r *rank) freeRecvReq(rr *recvReq) { r.recvFree = append(r.recvFree, rr) }
 
-func (e *Engine) allocSendReq() *sendReq {
-	if n := len(e.sendFree); n > 0 {
-		sr := e.sendFree[n-1]
-		e.sendFree = e.sendFree[:n-1]
+func (r *rank) allocSendReq() *sendReq {
+	if n := len(r.sendFree); n > 0 {
+		sr := r.sendFree[n-1]
+		r.sendFree = r.sendFree[:n-1]
 		*sr = sendReq{}
 		return sr
 	}
 	return &sendReq{}
 }
 
-func (e *Engine) freeSendReq(sr *sendReq) { e.sendFree = append(e.sendFree, sr) }
+func (r *rank) freeSendReq(sr *sendReq) { r.sendFree = append(r.sendFree, sr) }
 
-func (e *Engine) allocPA() *pendingArrival {
-	if n := len(e.paFree); n > 0 {
-		pa := e.paFree[n-1]
-		e.paFree = e.paFree[:n-1]
+func (r *rank) allocPA() *pendingArrival {
+	if n := len(r.paFree); n > 0 {
+		pa := r.paFree[n-1]
+		r.paFree = r.paFree[:n-1]
 		*pa = pendingArrival{}
 		return pa
 	}
 	return &pendingArrival{}
 }
 
-func (e *Engine) freePA(pa *pendingArrival) { e.paFree = append(e.paFree, pa) }
+func (r *rank) freePA(pa *pendingArrival) { r.paFree = append(r.paFree, pa) }
 
 // ctlRetry tracks one rendezvous control message (RTS or pull) awaiting
 // progress under impairment. The retry timer owns the record: it recycles
@@ -392,97 +419,101 @@ type ctlRetry struct {
 	tries int
 }
 
-func (e *Engine) allocCtlRetry() *ctlRetry {
-	if n := len(e.ctlFree); n > 0 {
-		cr := e.ctlFree[n-1]
-		e.ctlFree = e.ctlFree[:n-1]
-		*cr = ctlRetry{e: e}
+func (r *rank) allocCtlRetry() *ctlRetry {
+	if n := len(r.ctlFree); n > 0 {
+		cr := r.ctlFree[n-1]
+		r.ctlFree = r.ctlFree[:n-1]
+		*cr = ctlRetry{e: r.eng}
 		return cr
 	}
-	return &ctlRetry{e: e}
+	return &ctlRetry{e: r.eng}
 }
 
-func (e *Engine) freeCtlRetry(cr *ctlRetry) { e.ctlFree = append(e.ctlFree, cr) }
+func (r *rank) freeCtlRetry(cr *ctlRetry) { r.ctlFree = append(r.ctlFree, cr) }
 
 // retryOn reports whether rendezvous-control retry is active.
 func (e *Engine) retryOn() bool { return e.Cfg.RetryTimeout > 0 && e.C.Impaired() }
 
-// armCtlRetry schedules the retry timer for a control exchange.
+// armCtlRetry schedules the retry timer for a control exchange on the
+// arming rank's own engine.
 func (e *Engine) armCtlRetry(now sim.Time, isRTS bool, id uint64, r *rank, peer int, tag uint64, size int) {
-	cr := e.allocCtlRetry()
+	cr := r.allocCtlRetry()
 	cr.isRTS, cr.id, cr.rnk, cr.peer, cr.tag, cr.size = isRTS, id, r, peer, tag, size
-	e.C.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
+	r.nc.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
 }
 
 // runCtlRetry is the ScheduleCall entry point for a control-retry timeout.
+// It fires on the arming rank's engine and touches only that rank's maps
+// and its shard's fault counters.
 func runCtlRetry(a any) {
 	cr := a.(*ctlRetry)
 	e := cr.e
+	r := cr.rnk
 	// Progress check: an RTS exchange is live while its id is in rdvPull
 	// (the pull's arrival deletes it); a pull is live while its id is in
 	// pullWait (the data's arrival deletes it).
 	var live bool
 	if cr.isRTS {
-		_, live = e.rdvPull[cr.id]
+		_, live = r.rdvPull[cr.id]
 	} else {
-		_, live = e.pullWait[cr.id]
+		_, live = r.pullWait[cr.id]
 	}
 	if !live {
-		e.freeCtlRetry(cr)
+		r.freeCtlRetry(cr)
 		return
 	}
 	if cr.tries >= e.Cfg.MaxRetries {
 		// Budget spent: stop resending. The unfinished exchange surfaces as
 		// a deadlock from Run, which is the honest outcome of a partitioned
 		// network.
-		e.C.Faults.RetransFails++
-		e.freeCtlRetry(cr)
+		r.nc.Faults.RetransFails++
+		r.freeCtlRetry(cr)
 		return
 	}
 	cr.tries++
-	e.Res.Retransmits++
-	e.C.Faults.Retransmits++
-	now := e.C.Eng.Now()
-	m := e.allocMsg()
+	r.retransmits++
+	r.nc.Faults.Retransmits++
+	now := r.nc.Eng.Now()
+	m := r.allocMsg()
 	m.Type = netsim.OpPut // RTS rides a put header
 	if !cr.isRTS {
 		m.Type = netsim.OpGet
 	}
-	m.Src = cr.rnk.id
+	m.Src = r.id
 	m.Dst = cr.peer
 	m.MatchBits = cr.tag
 	m.HdrData = cr.id
 	m.GetLength = cr.size
 	e.C.DeviceSend(now, m)
-	e.C.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
+	r.nc.Eng.ScheduleCall(now+e.Cfg.RetryTimeout, runCtlRetry, cr)
 }
 
-func (e *Engine) allocInflight() *inflight {
-	if n := len(e.inflFree); n > 0 {
-		fl := e.inflFree[n-1]
-		e.inflFree = e.inflFree[:n-1]
+func (r *rank) allocInflight() *inflight {
+	if n := len(r.inflFree); n > 0 {
+		fl := r.inflFree[n-1]
+		r.inflFree = r.inflFree[:n-1]
 		*fl = inflight{}
 		return fl
 	}
 	return &inflight{}
 }
 
-func (e *Engine) freeInflight(fl *inflight) { e.inflFree = append(e.inflFree, fl) }
+func (r *rank) freeInflight(fl *inflight) { r.inflFree = append(r.inflFree, fl) }
 
-// allocMsg draws a zeroed wire message from the cluster's free list. The
-// transport recycles it as soon as the last packet has been dispatched,
-// which is safe because pendingArrival copies every field the protocol may
-// need later.
-func (e *Engine) allocMsg() *netsim.Message {
-	return e.C.AllocMessage()
+// allocMsg draws a zeroed wire message from the rank's owning cluster's free
+// list. The transport recycles it as soon as the last packet has been
+// dispatched, which is safe because pendingArrival copies every field the
+// protocol may need later.
+func (r *rank) allocMsg() *netsim.Message {
+	return r.nc.AllocMessage()
 }
 
 // Run replays the programs to completion and returns the result.
 func (e *Engine) Run() (Result, error) {
 	for _, r := range e.rank {
-		e.C.Eng.ScheduleCall(0, rankStep, r)
+		r.nc.Eng.ScheduleCall(0, rankStep, r)
 	}
-	e.C.Eng.Run()
+	e.C.Run()
 	var end sim.Time
 	for _, r := range e.rank {
 		if !r.finished {
@@ -492,9 +523,12 @@ func (e *Engine) Run() (Result, error) {
 			end = r.endTime
 		}
 		e.Res.MPITime += r.mpiBlocked
+		e.Res.Messages += r.messages
+		e.Res.Copies += r.copies
+		e.Res.Retransmits += r.retransmits
 	}
 	e.Res.Runtime = end
-	e.Res.Events = e.C.Eng.Processed()
+	e.Res.Events = e.C.Processed()
 	return e.Res, nil
 }
 
@@ -503,12 +537,12 @@ func (e *Engine) Run() (Result, error) {
 
 func rankStep(a any) {
 	r := a.(*rank)
-	r.step(r.eng.C.Eng.Now())
+	r.step(r.nc.Eng.Now())
 }
 
 func rankResume(a any) {
 	r := a.(*rank)
-	r.resume(r.eng.C.Eng.Now())
+	r.resume(r.nc.Eng.Now())
 }
 
 // step advances a rank's program at time now.
@@ -519,7 +553,7 @@ func (r *rank) step(now sim.Time) {
 		case OpCompute:
 			r.pc++
 			end := r.nz.Inflate(now, op.Dur)
-			r.eng.C.Eng.ScheduleCall(end, rankStep, r)
+			r.nc.Eng.ScheduleCall(end, rankStep, r)
 			return
 		case OpIsend:
 			r.pc++
@@ -552,10 +586,10 @@ func (r *rank) step(now sim.Time) {
 // were removed from posted (and pullWait) when they matched.
 func (r *rank) releaseRequests() {
 	for _, sr := range r.sends {
-		r.eng.freeSendReq(sr)
+		r.freeSendReq(sr)
 	}
 	for _, rr := range r.recvs {
-		r.eng.freeRecvReq(rr)
+		r.freeRecvReq(rr)
 	}
 	r.sends = r.sends[:0]
 	r.recvs = r.recvs[:0]

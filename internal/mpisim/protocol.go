@@ -14,15 +14,15 @@ const nicHandlerDelay = 20 * sim.Nanosecond
 // receiver has pulled the data from this rank's memory.
 func (r *rank) isend(now sim.Time, op Op) sim.Time {
 	e := r.eng
-	e.Res.Messages++
-	sr := e.allocSendReq()
+	r.messages++
+	sr := r.allocSendReq()
 	r.sends = append(r.sends, sr)
 	// Under impairment every send goes rendezvous: an eager message that
 	// loses a packet is gone (fire-and-forget has no recovery), while the
 	// rendezvous control loop retries RTS and pull until the data lands.
 	if op.Size <= e.Cfg.EagerThreshold && !e.retryOn() {
 		sr.done = true
-		m := e.allocMsg()
+		m := r.allocMsg()
 		m.Type = netsim.OpPut
 		m.Src = r.id
 		m.Dst = op.Peer
@@ -30,9 +30,9 @@ func (r *rank) isend(now sim.Time, op Op) sim.Time {
 		m.Length = op.Size
 		return e.C.HostSend(now, m)
 	}
-	id := e.C.NextID()
-	e.rdvPull[id] = sr
-	rts := e.allocMsg()
+	id := r.nc.NextID()
+	r.rdvPull[id] = sr
+	rts := r.allocMsg()
 	rts.Type = netsim.OpPut
 	rts.Src = r.id
 	rts.Dst = op.Peer
@@ -50,7 +50,7 @@ func (r *rank) isend(now sim.Time, op Op) sim.Time {
 // rendezvous handlers) on the NIC; in host mode it only updates the
 // library's queues. Either way it checks the unexpected queue.
 func (r *rank) irecv(now sim.Time, op Op) sim.Time {
-	rr := r.eng.allocRecvReq()
+	rr := r.allocRecvReq()
 	rr.peer = op.Peer
 	rr.tag = op.Tag
 	rr.size = op.Size
@@ -70,10 +70,10 @@ func (r *rank) irecv(now sim.Time, op Op) sim.Time {
 			// Case III: eager data already in the bounce buffer — copy.
 			t := r.cpu.MatchWalk(maxTime(now, pa.at), len(r.unexpected)+1)
 			t = r.cpu.Copy(t, pa.size)
-			r.eng.Res.Copies++
+			r.copies++
 			r.completeRecv(t, rr)
 		}
-		r.eng.freePA(pa)
+		r.freePA(pa)
 		return now
 	}
 	r.posted = append(r.posted, rr)
@@ -90,7 +90,7 @@ func maxTime(a, b sim.Time) sim.Time {
 // completeRecv finishes a receive at time t.
 func (r *rank) completeRecv(t sim.Time, rr *recvReq) {
 	rr.done = true
-	r.eng.C.Eng.ScheduleCall(t, rankResume, r)
+	r.nc.Eng.ScheduleCall(t, rankResume, r)
 }
 
 // matchPosted removes and returns the first posted receive matching
@@ -108,14 +108,14 @@ func (r *rank) matchPosted(src int, tag uint64) *recvReq {
 // issuePull sends the rendezvous get to the data's source. In sPIN mode
 // the NIC's header handler issues it; in host mode the CPU does.
 func (e *Engine) issuePull(now sim.Time, r *rank, rr *recvReq, src int, tag, pullID uint64) {
-	pull := e.allocMsg()
+	pull := r.allocMsg()
 	pull.Type = netsim.OpGet
 	pull.Src = r.id
 	pull.Dst = src
 	pull.MatchBits = tag
 	pull.HdrData = pullID
 	pull.GetLength = rr.size
-	e.pullWait[pullID] = pullDest{r: r, rr: rr}
+	r.pullWait[pullID] = pullDest{r: r, rr: rr}
 	e.C.DeviceSend(now, pull)
 	// The pull timer also covers a lost (or partially lost) data response:
 	// the id stays in pullWait until the response completes, so the timer
@@ -138,10 +138,10 @@ func (r *rank) progressArrival(now sim.Time, pa *pendingArrival) {
 			e.issuePull(t, r, rr, pa.src, pa.tag, pa.pullID)
 		} else {
 			t = r.cpu.Copy(t, pa.size)
-			e.Res.Copies++
+			r.copies++
 			r.completeRecv(t, rr)
 		}
-		e.freePA(pa)
+		r.freePA(pa)
 		return
 	}
 	r.unexpected = append(r.unexpected, pa)
@@ -155,19 +155,20 @@ type nodeRecv struct {
 	r *rank
 }
 
-// ReceivePacket implements netsim.Receiver.
+// ReceivePacket implements netsim.Receiver. It runs on the receiving rank's
+// engine and touches only that rank's assembly state.
 func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
-	e := nr.e
-	fl := e.inflight[pkt.Msg]
+	e, r := nr.e, nr.r
+	fl := r.inflight[pkt.Msg]
 	if fl == nil {
-		fl = e.allocInflight()
+		fl = r.allocInflight()
 		fl.msg = pkt.Msg
 		fl.total = e.C.P.Packets(pkt.Msg.Length)
-		e.inflight[pkt.Msg] = fl
+		r.inflight[pkt.Msg] = fl
 	}
 	fl.arrived++
 	if pkt.Size > 0 {
-		_, visible := e.C.Nodes[nr.r.id].Bus.Write(now, pkt.Size)
+		_, visible := e.C.Nodes[r.id].Bus.Write(now, pkt.Size)
 		if visible > fl.visible {
 			fl.visible = visible
 		}
@@ -178,9 +179,9 @@ func (nr *nodeRecv) ReceivePacket(now sim.Time, pkt *netsim.Packet) {
 		return
 	}
 	m := pkt.Msg
-	delete(e.inflight, m)
+	delete(r.inflight, m)
 	visible := fl.visible
-	e.freeInflight(fl)
+	r.freeInflight(fl)
 	nr.dispatch(visible, m)
 	// The dispatch copied everything it needs (pendingArrival fields,
 	// request pointers); the transport recycles the wire message when this
@@ -194,11 +195,13 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 	switch {
 	case m.Type == netsim.OpGet:
 		// Rendezvous pull request: this rank is the sender; the NIC reads
-		// the data from host memory and streams it back — no CPU.
-		sr := e.rdvPull[m.HdrData]
-		delete(e.rdvPull, m.HdrData)
+		// the data from host memory and streams it back — no CPU. The pull
+		// always arrives at the rank that announced the id, so rdvPull is
+		// rank-local by construction.
+		sr := r.rdvPull[m.HdrData]
+		delete(r.rdvPull, m.HdrData)
 		ready := e.C.Nodes[r.id].Bus.Read(at, m.GetLength)
-		data := e.allocMsg()
+		data := r.allocMsg()
 		data.Type = netsim.OpGetResponse
 		data.Src = r.id
 		data.Dst = m.Src
@@ -207,13 +210,14 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 		e.C.DeviceSend(ready, data)
 		if sr != nil {
 			sr.done = true
-			e.C.Eng.ScheduleCall(ready, rankResume, r)
+			r.nc.Eng.ScheduleCall(ready, rankResume, r)
 		}
 	case m.Type == netsim.OpGetResponse:
-		// Rendezvous data landed in the user buffer.
-		pd, ok := e.pullWait[m.HdrData]
+		// Rendezvous data landed in the user buffer (this rank issued the
+		// pull, so pullWait is rank-local by construction).
+		pd, ok := r.pullWait[m.HdrData]
 		if ok {
-			delete(e.pullWait, m.HdrData)
+			delete(r.pullWait, m.HdrData)
 			pd.r.completeRecv(at, pd.rr)
 		}
 	case m.GetLength > 0:
@@ -221,10 +225,10 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 		if e.retryOn() {
 			// A retransmitted RTS must not match twice: the first copy
 			// already created receive-side state keyed by the same id.
-			if _, dup := e.rtsSeen[m.HdrData]; dup {
+			if _, dup := r.rtsSeen[m.HdrData]; dup {
 				return
 			}
-			e.rtsSeen[m.HdrData] = struct{}{}
+			r.rtsSeen[m.HdrData] = struct{}{}
 		}
 		if e.Cfg.Mode == SpinMatching {
 			if rr := r.matchPosted(m.Src, m.MatchBits); rr != nil {
@@ -234,7 +238,7 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 				return
 			}
 		}
-		pa := e.allocPA()
+		pa := r.allocPA()
 		pa.src = m.Src
 		pa.tag = m.MatchBits
 		pa.size = m.GetLength
@@ -257,7 +261,7 @@ func (nr *nodeRecv) dispatch(at sim.Time, m *netsim.Message) {
 				return
 			}
 		}
-		pa := e.allocPA()
+		pa := r.allocPA()
 		pa.src = m.Src
 		pa.tag = m.MatchBits
 		pa.size = m.Length

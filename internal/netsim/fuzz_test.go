@@ -1,0 +1,54 @@
+package netsim
+
+import "testing"
+
+// FuzzParseImpairment fuzzes the impairment spec grammar with two
+// properties: ParseImpairment never panics, and Key() is a canonical fixed
+// point — any successfully parsed spec's Key must itself parse, and parsing
+// it must reproduce the identical Key. The second property is what the
+// bench cache and the golden equivalence suite lean on: equal impairment
+// configurations must collide on one cache key no matter which equivalent
+// spelling (whitespace, field order, float vs integer magnitudes, duration
+// units) the user typed. The seed corpus walks the README grammar: every
+// recognized key, both wildcard and healed fail blocks, each duration unit,
+// and the malformed shapes the parser must reject without panicking.
+func FuzzParseImpairment(f *testing.F) {
+	for _, spec := range []string{
+		"",
+		"loss=0.01,jitter=2us,seed=7",
+		"lossn=10,latency=500ns,throttle=5ps,fail=0:1:0,fail=*:3:1us:2us",
+		"latency=500ns,fail=0:1:0:5us",
+		"corrupt=0.001,seed=42",
+		"loss=0.30000000000000004",
+		"jitter=1fs,latency=1ps,throttle=1ns",
+		"latency=9007199254740993ps", // 2^53+1: must survive the int64 path
+		"throttle=9223372036854775807fs",
+		"fail=*:*:0",
+		"fail=12:*:3ms:4s",
+		" loss = 0.5 , seed = 1 ",
+		"loss=,seed",
+		"loss=nan",
+		"loss=-0",
+		"latency=1e400us",
+		"latency=5",
+		"fail=1:2",
+		"fail=-1:2:0",
+		"bogus=1",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		im, err := ParseImpairment(spec)
+		if err != nil {
+			return
+		}
+		key := im.Key()
+		im2, err := ParseImpairment(key)
+		if err != nil {
+			t.Fatalf("Key %q of valid spec %q does not re-parse: %v", key, spec, err)
+		}
+		if key2 := im2.Key(); key2 != key {
+			t.Fatalf("Key is not a fixed point for spec %q: %q re-parses to %q", spec, key, key2)
+		}
+	})
+}

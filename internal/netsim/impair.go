@@ -201,7 +201,10 @@ func parseProb(s string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if p < 0 || p >= 1 {
+	// NaN fails both ordered comparisons, so test it explicitly — a NaN
+	// probability would otherwise reach lossThreshold's float-to-uint
+	// conversion, whose result is undefined.
+	if math.IsNaN(p) || p < 0 || p >= 1 {
 		return 0, fmt.Errorf("probability %v outside [0, 1)", p)
 	}
 	return p, nil
@@ -231,14 +234,34 @@ func parseFemto(s string) (int64, error) {
 	}
 	for _, u := range units {
 		if strings.HasSuffix(s, u.suffix) {
-			v, err := strconv.ParseFloat(strings.TrimSuffix(s, u.suffix), 64)
+			num := strings.TrimSuffix(s, u.suffix)
+			// Integer magnitudes take an exact int64 path: Key() prints
+			// durations as integer ps/fs, and values above 2^53 would lose
+			// precision through float64 — breaking Key's re-parse fixed point.
+			if i, ierr := strconv.ParseInt(num, 10, 64); ierr == nil {
+				if i < 0 {
+					return 0, fmt.Errorf("negative duration %q", s)
+				}
+				femto := int64(u.femto)
+				if i > math.MaxInt64/femto {
+					return 0, fmt.Errorf("duration %q overflows", s)
+				}
+				return i * femto, nil
+			}
+			v, err := strconv.ParseFloat(num, 64)
 			if err != nil {
 				return 0, err
 			}
-			if v < 0 {
+			if math.IsNaN(v) || v < 0 {
 				return 0, fmt.Errorf("negative duration %q", s)
 			}
-			return int64(v * u.femto), nil
+			// float64(MaxInt64) is exactly 2^63, so >= catches every float
+			// whose int64 conversion would be out of range (including +Inf) —
+			// an unchecked conversion is undefined and came out negative.
+			if f := v * u.femto; f < float64(math.MaxInt64) {
+				return int64(f), nil
+			}
+			return 0, fmt.Errorf("duration %q overflows", s)
 		}
 	}
 	return 0, fmt.Errorf("duration %q needs a unit suffix (fs/ps/ns/us/ms/s)", s)
@@ -382,6 +405,17 @@ func (c *Cluster) SetImpairment(im *Impairment) {
 	if !im.Enabled() {
 		im = nil
 	}
+	c.setImp(im)
+	// An LP root cascades into every shard: faults are decided on the shard
+	// transporting the packet, and each shard counts its own links (a link's
+	// traffic always originates at the source's shard, so the per-shard
+	// counters reproduce the serial sequence exactly).
+	for _, s := range c.shards {
+		s.setImp(im)
+	}
+}
+
+func (c *Cluster) setImp(im *Impairment) {
 	c.imp = im
 	if im != nil && c.linkSeq == nil {
 		c.linkSeq = make(map[uint64]uint64)

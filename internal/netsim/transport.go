@@ -161,15 +161,41 @@ type Node struct {
 	Recv    Receiver
 
 	cluster *Cluster
+	// sendSeq counts this node's sends. It feeds the priority key of every
+	// walk event the node originates (see msgWalk.pri): a pure function of
+	// the node's own traffic, so it is identical in serial and LP runs.
+	sendSeq uint64
 }
 
 // Cluster wires n nodes onto one engine and transports packets between them.
+//
+// A cluster built by NewClusterLP is additionally partitioned into logical
+// processes (LPs) for conservative parallel execution: the root cluster owns
+// the full node slice and the shard clusters — one per LP, each with a
+// private engine — own contiguous node ranges (Node.cluster names the
+// owner). Send routes every message to the source node's owning shard, so
+// serial and shard-local traffic take the same path; cross-shard traffic is
+// parked in the source shard's outbox and injected into the destination
+// shard's engine at the next window barrier (see lp.go and ARCHITECTURE.md
+// "Parallel DES").
 type Cluster struct {
 	Eng    *sim.Engine
 	P      Params
 	Nodes  []*Node
 	Rec    *timeline.Recorder // optional; nil disables recording
 	nextID uint64
+
+	// Parallel-DES wiring. A serial cluster leaves all of this zero; an LP
+	// root has shards (and group) populated; a shard has root set and idBase
+	// marking the high bits of its message IDs so per-shard NextID counters
+	// stay globally unique.
+	shards    []*Cluster
+	root      *Cluster
+	idBase    uint64
+	lookahead sim.Time
+	group     *sim.Windows
+	outbox    []crossSend
+	crossBuf  []crossSend // root-owned scratch for barrier flushes
 
 	// pktFree, walkFree, and msgFree are engine-owned free lists
 	// (deliberately not sync.Pool: the engine is single-threaded and reuse
@@ -258,14 +284,30 @@ func (c *Cluster) Reset() {
 // reuse a cluster across replays while restoring their own receiver state
 // in place; everything Reset says about determinism applies equally here.
 func (c *Cluster) ResetCore() {
-	c.Eng.Reset()
 	for _, n := range c.Nodes {
 		n.Egress.Reset()
 		n.MatchHW.Reset()
 		n.Bus.Reset()
 		n.Cores.Reset()
+		n.sendSeq = 0
 	}
 	c.Rec.Reset()
+	c.resetEngineState()
+	// An LP root cascades into every shard, so reset == fresh holds at any
+	// partition count: shard clocks, sequence counters, per-link impairment
+	// sequence numbers, and outboxes all restart exactly as construction
+	// leaves them.
+	for _, s := range c.shards {
+		s.resetEngineState()
+	}
+}
+
+// resetEngineState restarts one engine's share of the transport state —
+// clock/queue/sequence, message IDs, statistics, impairment link counters,
+// fault counters, quarantine, and cross-shard outbox. Node hardware and the
+// recorder are shared across shards and reset by ResetCore itself.
+func (c *Cluster) resetEngineState() {
+	c.Eng.Reset()
 	c.nextID = 0
 	c.MessagesSent = 0
 	c.PacketsSent = 0
@@ -279,12 +321,15 @@ func (c *Cluster) ResetCore() {
 		c.recycleMessage(m)
 	}
 	c.quarantine = c.quarantine[:0]
+	c.outbox = c.outbox[:0]
 }
 
-// NextID returns a fresh message ID.
+// NextID returns a fresh message ID, unique across the whole cluster: each
+// shard counts in its own idBase-tagged range (serial clusters count from
+// zero, unchanged).
 func (c *Cluster) NextID() uint64 {
 	c.nextID++
-	return c.nextID
+	return c.idBase | c.nextID
 }
 
 // msgWalk drives the packet injections of one message through the engine as
@@ -302,6 +347,8 @@ type msgWalk struct {
 	n       int      // not change if the caller mutates msg in flight
 	idx     int      // next packet to deliver
 	seq0    uint64   // reserved sequence number of packet 0's arrival
+	stamp   sim.Time // engine clock at Send (seq-reservation) time
+	pri     uint64   // (source send count, source rank) priority key
 	arr     sim.Time // arrival time of packet idx
 	occFull sim.Time // egress occupancy of a full-MTU packet
 	occLast sim.Time // egress occupancy of the final packet
@@ -393,7 +440,16 @@ func (c *Cluster) freePacket(p *Packet) {
 // matching. The caller is responsible for charging CPU overhead (o) or DMA
 // fetch time before ready, depending on where the data originates; Send
 // models only the wire and the receive-side matching hardware.
+//
+// Send routes to the source node's owning cluster: itself when serial, the
+// source's shard in LP mode (where the caller must already be executing on
+// that shard's engine).
 func (c *Cluster) Send(ready sim.Time, msg *Message) {
+	c.Nodes[msg.Src].cluster.send(ready, msg)
+}
+
+// send is the owning-shard half of Send. c is the source node's cluster.
+func (c *Cluster) send(ready sim.Time, msg *Message) {
 	if msg.ID == 0 {
 		msg.ID = c.NextID()
 	}
@@ -437,22 +493,51 @@ func (c *Cluster) Send(ready sim.Time, msg *Message) {
 	c.PacketsSent += uint64(n)
 	c.BytesSent += uint64(msg.Length)
 
-	w := c.allocWalk()
-	*w = msgWalk{c: c, dst: dst, msg: msg, length: msg.Length, n: n,
-		seq0: c.Eng.ReserveSeq(n), arr: firstArrival, occFull: occFull, occLast: occLast}
+	var impSeq uint64
 	if c.imp != nil {
 		// Reserve this message's block of per-link packet sequence numbers
 		// at Send time: the fault verdict for packet i depends only on how
 		// many packets the link carried before this message, which is itself
-		// a pure function of the traffic pattern.
+		// a pure function of the traffic pattern. A link's traffic always
+		// originates at the source's shard, so the per-shard counters count
+		// exactly as the serial ones do.
 		k := linkKey(msg.Src, msg.Dst)
-		w.impSeq = c.linkSeq[k]
+		impSeq = c.linkSeq[k]
 		c.linkSeq[k] += uint64(n)
 		msg.track = n
 		msg.faulted = false
 		msg.touched = false
 	}
-	c.Eng.ScheduleCallSeq(firstArrival, w.seq0, walkDeliver, w)
+	stamp := c.Eng.Now()
+	// The walk's priority key: (source send count, source rank), unique per
+	// message and derived only from the node's own traffic history — so two
+	// walks that tie on (arrival, stamp) order identically whether their
+	// events share one engine (serial) or meet across an LP window barrier,
+	// where engine sequence numbers are incomparable. Rank fits 16 bits by
+	// topology validation (a fat tree's host count is far below 64k).
+	src.sendSeq++
+	pri := src.sendSeq<<16 | uint64(msg.Src)
+	if dc := dst.cluster; dc != c {
+		// Cross-LP send: the packets must be delivered by the destination
+		// shard's engine. Park the fully computed walk parameters in this
+		// shard's outbox; the window barrier injects them into the
+		// destination engine (Cluster.flush), which is safe because
+		// firstArrival >= now + cross-shard latency >= window bound.
+		if msg.Delivered != nil || msg.OnDelivered != nil {
+			panic("netsim: cross-LP send with a Delivered/OnDelivered callback (the source engine cannot observe destination-side completion)")
+		}
+		c.outbox = append(c.outbox, crossSend{
+			dst: dc, dstNode: dst, msg: msg, length: msg.Length, n: n,
+			arr: firstArrival, stamp: stamp, pri: pri,
+			occFull: occFull, occLast: occLast, impSeq: impSeq,
+		})
+		return
+	}
+	w := c.allocWalk()
+	*w = msgWalk{c: c, dst: dst, msg: msg, length: msg.Length, n: n,
+		seq0: c.Eng.ReserveSeq(n), stamp: stamp, pri: pri, arr: firstArrival,
+		occFull: occFull, occLast: occLast, impSeq: impSeq}
+	c.Eng.ScheduleCallSeq(firstArrival, stamp, pri, w.seq0, walkDeliver, w)
 	if msg.Delivered != nil {
 		c.Eng.ScheduleCall(lastInjected, c.deliveredCall, msg)
 	} else if msg.OnDelivered != nil {
@@ -500,7 +585,7 @@ func walkDeliver(a any) {
 		} else {
 			w.arr += w.occFull
 		}
-		c.Eng.ScheduleCallSeq(w.arr, w.seq0+uint64(w.idx), walkDeliver, w)
+		c.Eng.ScheduleCallSeq(w.arr, w.stamp, w.pri, w.seq0+uint64(w.idx), walkDeliver, w)
 	} else {
 		c.freeWalk(w)
 	}

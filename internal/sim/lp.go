@@ -1,0 +1,139 @@
+// Conservative parallel DES: the window coordinator behind the -lp mode.
+//
+// A Windows run partitions a simulation across K engines ("logical
+// processes"). The safety argument is the classic conservative one: if every
+// cross-engine interaction takes at least Lookahead of simulated time to
+// propagate, then all events below min(next event across engines) +
+// Lookahead are causally independent between engines and may execute
+// concurrently. The coordinator repeatedly computes that bound, lets every
+// engine with work below it run in parallel (RunBefore), and then — at the
+// barrier, single-threaded — calls Flush so the owner can migrate
+// cross-engine traffic produced during the window onto its destination
+// engines. Flush must verify that nothing it injects lands below the
+// window's bound; a violation means the configured Lookahead overstates the
+// real minimum propagation delay, which would break the independence
+// argument (and determinism with it).
+package sim
+
+// Windows runs a group of engines in conservative synchronous windows until
+// every engine is idle and Flush has nothing left to deliver.
+type Windows struct {
+	// Engines are the logical processes. Each must only be touched by the
+	// simulation state partition it owns; the coordinator guarantees no two
+	// windows overlap and no engine runs concurrently with Flush.
+	Engines []*Engine
+	// Lookahead is the minimum simulated time for any cross-engine
+	// interaction to become visible on the destination engine. It must be
+	// strictly positive; deriving it is the partition owner's job (netsim
+	// uses the minimum cross-partition link latency).
+	Lookahead Time
+	// Flush delivers cross-engine traffic at the window barrier. It runs on
+	// the coordinator goroutine with every engine quiescent, and must panic
+	// if asked to deliver below prevBound — the committed horizon no engine
+	// may revisit.
+	Flush func(prevBound Time)
+
+	// bounds[i] carries window bounds to the worker pinned to Engines[i]
+	// (index 0 runs on the coordinator); ack returns completions.
+	bounds []chan Time
+	ack    chan struct{}
+}
+
+// Run executes the window loop to completion and returns the latest engine
+// clock. Worker goroutines live only for the duration of the call, so an
+// abandoned group leaks nothing.
+func (g *Windows) Run() Time {
+	if g.Lookahead <= 0 {
+		panic("sim: Windows requires positive Lookahead")
+	}
+	k := len(g.Engines)
+	if g.bounds == nil {
+		g.bounds = make([]chan Time, k)
+		for i := 1; i < k; i++ {
+			g.bounds[i] = make(chan Time, 1)
+		}
+		g.ack = make(chan struct{}, k)
+	}
+	for i := 1; i < k; i++ {
+		go g.worker(g.Engines[i], g.bounds[i])
+	}
+	defer func() {
+		for i := 1; i < k; i++ {
+			close(g.bounds[i])
+			g.bounds[i] = nil
+		}
+		g.bounds = nil
+	}()
+
+	for {
+		// T = the global horizon: no engine holds an event below it, so
+		// every event in [T, T+Lookahead) is safe to run concurrently.
+		var horizon Time
+		have := false
+		for _, e := range g.Engines {
+			if t, ok := e.NextEventTime(); ok && (!have || t < horizon) {
+				horizon, have = t, true
+			}
+		}
+		if !have {
+			return g.maxNow()
+		}
+		bound := horizon + g.Lookahead
+
+		active := 0
+		single := -1
+		for i, e := range g.Engines {
+			if t, ok := e.NextEventTime(); ok && t < bound {
+				active++
+				single = i
+			}
+		}
+		switch {
+		case active == 1:
+			// One participant: run it inline on the coordinator, no
+			// synchronization. The handoff between a worker having run this
+			// engine in an earlier window and the coordinator running it now
+			// is ordered by that window's ack.
+			g.Engines[single].RunBefore(bound)
+		default:
+			sent := 0
+			for i := 1; i < k; i++ {
+				if t, ok := g.Engines[i].NextEventTime(); ok && t < bound {
+					g.bounds[i] <- bound
+					sent++
+				}
+			}
+			if t, ok := g.Engines[0].NextEventTime(); ok && t < bound {
+				g.Engines[0].RunBefore(bound)
+			}
+			for ; sent > 0; sent-- {
+				<-g.ack
+			}
+		}
+		if g.Flush != nil {
+			g.Flush(bound)
+		}
+	}
+}
+
+// worker runs windows for one pinned engine until its channel closes. The
+// channel is passed in rather than re-read from g.bounds: Run's cleanup
+// nils the slice when the loop finishes, which may happen before a worker
+// spawned late in a short run has even started.
+func (g *Windows) worker(e *Engine, bounds <-chan Time) {
+	for bound := range bounds {
+		e.RunBefore(bound)
+		g.ack <- struct{}{}
+	}
+}
+
+// maxNow returns the latest clock across the group's engines.
+func (g *Windows) maxNow() Time {
+	var t Time
+	for _, e := range g.Engines {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}

@@ -55,18 +55,43 @@ func (t Time) String() string {
 }
 
 // event is one queue entry. Exactly one of fn and call is set: fn is the
-// closure form, call+arg the pre-bound form (ScheduleCall).
+// closure form, call+arg the pre-bound form (ScheduleCall). stamp is the
+// engine clock at the moment the event's sequence number was allocated
+// (Schedule time, or ReserveSeq time for deferred scheduling); pri is the
+// caller-supplied priority key of ScheduleCallSeq events (0 for everything
+// else).
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	call func(any)
-	arg  any
+	at    Time
+	stamp Time
+	pri   uint64
+	seq   uint64
+	fn    func()
+	call  func(any)
+	arg   any
 }
 
-// less orders events by deadline, then by sequence number (FIFO at ties).
+// less orders events by deadline, then allocation stamp, then priority key,
+// then sequence number. The stamp and priority exist for the parallel-DES
+// mode (see Windows): an event migrated onto this engine at a window barrier
+// gets a fresh local seq, so seq values cannot be compared across engines —
+// instead, migratable events carry a priority key derived from
+// simulation-visible state (netsim uses the source node's send counter),
+// identical no matter which engine schedules them. Plain Schedule/
+// ScheduleCall events have pri 0 and win every tie against keyed events,
+// again identically in serial and parallel runs; between two pri-0 events
+// the seq tie-break is sound because such events are always scheduled by
+// the same logical process in the same relative order in either mode.
 func (a *event) less(b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.stamp != b.stamp {
+		return a.stamp < b.stamp
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
 }
 
 // heapArity is the fan-out of the event heap. A 4-ary heap halves tree depth
@@ -175,7 +200,7 @@ func (e *Engine) checkAt(at Time) {
 func (e *Engine) Schedule(at Time, fn func()) {
 	e.checkAt(at)
 	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, stamp: e.now, seq: e.seq, fn: fn})
 }
 
 // ScheduleCall runs fn(arg) at absolute time at. Unlike Schedule, the
@@ -185,14 +210,17 @@ func (e *Engine) Schedule(at Time, fn func()) {
 func (e *Engine) ScheduleCall(at Time, fn func(any), arg any) {
 	e.checkAt(at)
 	e.seq++
-	e.push(event{at: at, seq: e.seq, call: fn, arg: arg})
+	e.push(event{at: at, stamp: e.now, seq: e.seq, call: fn, arg: arg})
 }
 
 // ReserveSeq claims n consecutive sequence numbers and returns the first.
 // A caller that will schedule n related events lazily (e.g. one packet
 // arrival at a time) reserves their tie-break positions up front, so the
 // eventual ScheduleCallSeq calls fire in exactly the order they would have
-// had they all been scheduled eagerly at reservation time.
+// had they all been scheduled eagerly at reservation time. The caller must
+// also capture Now() at reservation time and pass it as the stamp of every
+// deferred ScheduleCallSeq, preserving the eager order under the
+// (at, stamp, seq) comparator.
 func (e *Engine) ReserveSeq(n int) uint64 {
 	first := e.seq + 1
 	e.seq += uint64(n)
@@ -200,11 +228,17 @@ func (e *Engine) ReserveSeq(n int) uint64 {
 }
 
 // ScheduleCallSeq is ScheduleCall with an explicit sequence number obtained
-// from ReserveSeq. Reusing a sequence number, or inventing one, breaks the
+// from ReserveSeq, the engine clock captured at reservation time as the
+// tie-break stamp, and a caller-supplied priority key ordered between the
+// stamp and the sequence number. Callers that never migrate events across
+// engines may pass pri 0; parallel-DES callers must derive pri from
+// simulation state so it is identical in serial and partitioned runs (see
+// the less comparator). Reusing a sequence number, inventing one, or
+// passing a stamp other than the reservation-time clock breaks the
 // engine's determinism contract.
-func (e *Engine) ScheduleCallSeq(at Time, seq uint64, fn func(any), arg any) {
+func (e *Engine) ScheduleCallSeq(at, stamp Time, pri, seq uint64, fn func(any), arg any) {
 	e.checkAt(at)
-	e.push(event{at: at, seq: seq, call: fn, arg: arg})
+	e.push(event{at: at, stamp: stamp, pri: pri, seq: seq, call: fn, arg: arg})
 }
 
 // After runs fn d picoseconds from now.
@@ -241,4 +275,26 @@ func (e *Engine) RunUntil(t Time) {
 	if t > e.now {
 		e.now = t
 	}
+}
+
+// RunBefore executes events with deadlines strictly below bound, including
+// any such events they schedule, and leaves the clock at the last executed
+// event (it does NOT advance the clock to bound — unlike RunUntil, an engine
+// stopped by RunBefore can still accept events at any time >= its last
+// event). This is one logical process's share of a conservative parallel
+// window: with bound = horizon + lookahead, every event below bound is
+// causally independent of the other processes' pending work.
+func (e *Engine) RunBefore(bound Time) {
+	for len(e.events) > 0 && e.events[0].at < bound {
+		e.Step()
+	}
+}
+
+// NextEventTime returns the deadline of the earliest pending event, and
+// whether one exists.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
 }

@@ -221,11 +221,13 @@ func TestReserveSeqPreservesEagerOrder(t *testing.T) {
 	// ...then schedule a competitor at the same instant. Without the
 	// reservation it would fire first (earlier seq).
 	e.Schedule(100, func() { order = append(order, "late") })
-	e.ScheduleCallSeq(100, base, func(a any) {
+	e.ScheduleCallSeq(100, e.Now(), 0, base, func(a any) {
 		order = append(order, "first")
 		// The second reserved slot is claimed from inside the first event,
-		// still beating the competitor at the same deadline.
-		e.ScheduleCallSeq(100, base+1, func(any) { order = append(order, "second") }, nil)
+		// still beating the competitor at the same deadline. The stamp is
+		// the reservation-time clock (0), not the current clock, exactly as
+		// the deferred-scheduling contract requires.
+		e.ScheduleCallSeq(100, 0, 0, base+1, func(any) { order = append(order, "second") }, nil)
 	}, nil)
 	e.Run()
 	want := []string{"first", "second", "late"}
@@ -267,7 +269,7 @@ func TestScheduleCallSeqPastPanics(t *testing.T) {
 			t.Fatal("ScheduleCallSeq in the past did not panic")
 		}
 	}()
-	e.ScheduleCallSeq(50, e.ReserveSeq(1), func(any) {}, nil)
+	e.ScheduleCallSeq(50, e.Now(), 0, e.ReserveSeq(1), func(any) {}, nil)
 }
 
 func TestTimeString(t *testing.T) {

@@ -51,7 +51,21 @@ go test -count=1 -run 'TestImpairedSweepDeterminism' ./internal/bench
 # Experiment-level concurrency in spinbench must match serial stdout.
 go test -count=1 -run 'TestSerialVsConcurrentExperimentsByteIdentical' ./cmd/spinbench
 
-echo "== alloc budgets (engine schedule / transport / retransmit / Table5c / Fig5a / SPC) =="
+echo "== LP equivalence (conservative parallel DES vs serial) =="
+# Randomized scales/seeds/impairments at -lp 2/4/7 must produce CSV and
+# fault counters byte-identical to serial; the lookahead-safety property
+# tests audit the conservative invariant on adversarial topologies.
+go test -count=1 -run 'TestLPEquivalenceRandomized' ./internal/bench
+go test -count=1 -run 'TestWindowsConservativeInvariant' ./internal/sim
+go test -count=1 -run 'TestLPMatchesSerialAdversarial' ./internal/netsim
+
+echo "== impairment-grammar fuzz smoke (FuzzParseImpairment, 5s) =="
+# Short native-fuzz pass over the -impair spec parser: never panics, and
+# Key() stays a canonical re-parse fixed point (the property the result
+# cache keys depend on).
+go test -run '^$' -fuzz 'FuzzParseImpairment' -fuzztime 5s ./internal/netsim
+
+echo "== alloc budgets (engine schedule / transport / retransmit / Table5c / Table5cLP / Fig5a / SPC) =="
 # Ceilings from BENCH_core.json: 0 allocs per schedule+dispatch, <= 7 per
 # 256-packet message, 0 per lossy reliable put in steady state, the
 # post-program-pooling Table 5c budget, the post-triggered-op-pooling

@@ -17,7 +17,7 @@ func run(any) {}
 func pooled(e *sim.Engine) {
 	// The steered-to form: a pre-bound func(any) plus a pooled argument.
 	e.ScheduleCall(5, run, nil)
-	e.ScheduleCallSeq(5, 1, run, nil)
+	e.ScheduleCallSeq(5, 0, 0, 1, run, nil)
 }
 
 func preBound(e *sim.Engine) {
