@@ -15,10 +15,13 @@ check:
 	sh scripts/check.sh
 
 # lint runs the repo-specific analyzers (cmd/simlint): nosyncpool,
-# nowallclock, maporder, noclosuresched, poolretain, pkgdoc — each
-# enforcing an ARCHITECTURE.md contract clause.
+# nowallclock, maporder, noclosuresched, poolretain, pkgdoc, lpowner,
+# servebound, hotalloc, staledirective — each enforcing an
+# ARCHITECTURE.md contract clause (the last three over the module call
+# graph). -suppressions audits the //simlint: annotation inventory.
 lint:
 	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -suppressions ./...
 
 # race gates the parallel sweep / concurrent-experiment runners; CI runs
 # this as its own job.

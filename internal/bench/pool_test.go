@@ -117,51 +117,6 @@ func TestPoolProgress(t *testing.T) {
 	}
 }
 
-// TestDeprecatedRunWrappers keeps the one-release compatibility promise:
-// RunBudget, RunFresh, and SetImpairment must stay byte-equivalent to the
-// RunOptions forms they wrap.
-func TestDeprecatedRunWrappers(t *testing.T) {
-	scale := 4
-	exp := buildExperiment(t, "fig3b")
-	wantTab, err := exp.Build(scale).Run(RunOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := tableCSV(wantTab)
-
-	budTab, err := exp.Build(scale).RunBudget(2, NewBudget(2))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := tableCSV(budTab); got != want {
-		t.Fatalf("RunBudget output differs:\n%s\nvs\n%s", got, want)
-	}
-
-	freshTab, err := exp.Build(scale).RunFresh()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := tableCSV(freshTab); got != want {
-		t.Fatalf("RunFresh output differs:\n%s\nvs\n%s", got, want)
-	}
-
-	im := &netsim.Impairment{Seed: 11, ExtraLatency: 300 * sim.Nanosecond}
-	viaOpts := exp.Build(scale)
-	optTab, err := viaOpts.Run(RunOptions{Impairment: im})
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaSetter := exp.Build(scale)
-	viaSetter.SetImpairment(im)
-	setTab, err := viaSetter.Run(RunOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if tableCSV(optTab) != tableCSV(setTab) || viaOpts.Faults() != viaSetter.Faults() {
-		t.Fatal("SetImpairment path diverged from RunOptions.Impairment")
-	}
-}
-
 // TestRegistryMetadata pins the machine-readable registry against drift:
 // every experiment's Columns must match the header its builder lays out (at
 // min and max scale), scale bounds must be sane, and the spc replay — the

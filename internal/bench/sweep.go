@@ -68,7 +68,7 @@ type Env struct {
 	// portals-based clusters always run serially.
 	lp int
 	// noCache disables reuse while keeping the impairment plumbing: the
-	// RunFresh baseline of impaired determinism tests builds every system
+	// Fresh baseline of impaired determinism tests builds every system
 	// from scratch but still needs the fault model applied.
 	noCache bool
 	// faultAcc accumulates fault counters harvested from cached systems
@@ -406,31 +406,14 @@ type Sweep struct {
 	table  *Table
 	points []func(e *Env) ([][]string, error)
 
-	// impair, when set, is installed on every Env the runners build, so the
-	// whole sweep executes under the fault model; faults accumulates the
-	// counters of every worker's Env after the run. Both commute with
-	// sharding: the fault schedule is a pure function of (seed, traffic)
-	// per cluster, and the counter sums are order-independent.
-	impair *netsim.Impairment
+	// faults accumulates the counters of every worker's Env after a run
+	// under a fault model (RunOptions.Impairment); the counter sums are
+	// order-independent, so they commute with sharding.
 	faults netsim.FaultStats
 }
 
 // NewSweep returns a sweep that will fill t's rows.
 func NewSweep(t *Table) *Sweep { return &Sweep{table: t} }
-
-// SetImpairment installs a fault model for the whole sweep (nil or a
-// disabled impairment restores the perfect network). Output stays
-// byte-identical across serial, parallel, fresh, and Reset-reuse runs for a
-// fixed impairment, exactly as for unimpaired sweeps.
-//
-// Deprecated: pass RunOptions.Impairment to Run instead. Kept one release
-// for callers of the pre-RunOptions surface.
-func (s *Sweep) SetImpairment(im *netsim.Impairment) {
-	if !im.Enabled() {
-		im = nil
-	}
-	s.impair = im
-}
 
 // Faults returns the fault/recovery counters accumulated by the last run.
 func (s *Sweep) Faults() netsim.FaultStats { return s.faults }
@@ -468,9 +451,8 @@ func (s *Sweep) Row(fn func(e *Env) ([]string, error)) {
 type RunOptions struct {
 	// Workers > 1 shards points round-robin across that many goroutines,
 	// one Env per worker; <= 1 runs serially. Callers that want "all
-	// cores" resolve GOMAXPROCS themselves (the deprecated RunBudget still
-	// does it for its old callers). Ignored when Pool is set or Fresh is
-	// true.
+	// cores" resolve GOMAXPROCS themselves. Ignored when Pool is set or
+	// Fresh is true.
 	Workers int
 	// Budget, when non-nil, is the shared execution-slot semaphore each
 	// point holds while simulating; it bounds several concurrently running
@@ -520,7 +502,7 @@ type RunOptions struct {
 func (s *Sweep) Run(opts RunOptions) (*Table, error) {
 	im := opts.Impairment
 	if !im.Enabled() {
-		im = s.impair // deprecated SetImpairment path; already normalized
+		im = nil
 	}
 	rows := make([][][]string, len(s.points))
 	errs := make([]error, len(s.points))
@@ -622,27 +604,4 @@ func (s *Sweep) Run(opts RunOptions) (*Table, error) {
 		s.table.Rows = append(s.table.Rows, rs...)
 	}
 	return s.table, nil
-}
-
-// RunBudget is Run with the pre-RunOptions signature: workers <= 0 uses
-// GOMAXPROCS, and each point acquires a slot from b for the duration of its
-// simulation.
-//
-// Deprecated: use Run(RunOptions{Workers: n, Budget: b}); for a persistent
-// bounded pool use RunOptions.Pool, which replaces the spawn-then-bound
-// model with real task queuing. Kept one release.
-func (s *Sweep) RunBudget(workers int, b *Budget) (*Table, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return s.Run(RunOptions{Workers: workers, Budget: b})
-}
-
-// RunFresh executes serially with cluster reuse disabled: every point
-// builds its system from scratch, exactly as the exported single-point
-// helpers do.
-//
-// Deprecated: use Run(RunOptions{Fresh: true}). Kept one release.
-func (s *Sweep) RunFresh() (*Table, error) {
-	return s.Run(RunOptions{Fresh: true})
 }

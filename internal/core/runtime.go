@@ -215,7 +215,7 @@ func (rt *Runtime) hpuLane(i int) string {
 	if rt.hpuLanes == nil {
 		rt.hpuLanes = make([]string, rt.HPUs.Size())
 		for j := range rt.hpuLanes {
-			rt.hpuLanes[j] = fmt.Sprintf("HPU %d", j)
+			rt.hpuLanes[j] = fmt.Sprintf("HPU %d", j) //simlint:alloc-ok lanes are interned once on first recording use, not per event
 		}
 	}
 	return rt.hpuLanes[i]

@@ -32,7 +32,7 @@ func (o OpType) String() string {
 	case OpAck:
 		return "ack"
 	}
-	return fmt.Sprintf("op(%d)", uint8(o))
+	return fmt.Sprintf("op(%d)", uint8(o)) //simlint:alloc-ok unreachable fallback for invalid op values; known ops return interned literals
 }
 
 // Message is one network transaction. Data may be nil for timing-only
@@ -486,7 +486,7 @@ func (c *Cluster) send(ready sim.Time, msg *Message) {
 			if i == n-1 {
 				occ = occLast
 			}
-			c.Rec.Record(msg.Src, "NIC", s, s+occ, fmt.Sprintf("tx %s #%d", msg.Type, i))
+			c.Rec.Record(msg.Src, "NIC", s, s+occ, fmt.Sprintf("tx %s #%d", msg.Type, i)) //simlint:alloc-ok trace labels are built only when recording is enabled; benchmarks run with Rec nil
 			s += occ
 		}
 	}
@@ -622,7 +622,7 @@ func (n *Node) receive(pkt *Packet) {
 	start := n.MatchHW.Acquire(now, cost)
 	done := start + cost
 	if c.Rec.Enabled() {
-		c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index))
+		c.Rec.Record(n.Rank, "NIC", start, done, fmt.Sprintf("match %s #%d", pkt.Msg.Type, pkt.Index)) //simlint:alloc-ok trace labels are built only when recording is enabled; benchmarks run with Rec nil
 	}
 	if n.Recv == nil {
 		// No consumer installed; the packet vanishes (tests only). A pooled

@@ -78,7 +78,7 @@ func (iv *Intervals) place(earliest, occupancy Time) (start Time, idx int) {
 	// request nor terminate the scan (their start precedes earliest too),
 	// so the scan may begin at the first span with end > earliest.
 	start = earliest
-	i := sort.Search(n, func(j int) bool { return iv.busy[j].end > earliest })
+	i := sort.Search(n, func(j int) bool { return iv.busy[j].end > earliest }) //simlint:alloc-ok predicate does not escape sort.Search and stays on the stack; the 0 allocs/op gate proves it
 	scannedAll := i == 0
 	var widest Time
 	for i < n {

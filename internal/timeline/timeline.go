@@ -73,7 +73,7 @@ func (r *Recorder) Recordf(rank int, lane string, start, end sim.Time, format st
 	if r == nil {
 		return
 	}
-	r.Record(rank, lane, start, end, fmt.Sprintf(format, args...))
+	r.Record(rank, lane, start, end, fmt.Sprintf(format, args...)) //simlint:alloc-ok deferred label formatting is this method's purpose; hot call sites gate on Enabled
 }
 
 // Reset discards all recorded spans and the derived index, returning the

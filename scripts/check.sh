@@ -29,10 +29,30 @@ echo "== simlint =="
 # nosyncpool (engine-owned free lists only), nowallclock (simulated time is
 # a function of the seed), maporder (no nondeterministic map iteration),
 # noclosuresched (pooled ScheduleCall over per-event closures), poolretain
-# (pooled transport objects stay with their owner packages), and pkgdoc
-# (every package documents its role). This subsumes the old standalone
-# pkgdoclint step; the scripts/pkgdoclint shim remains for one release.
+# (pooled transport objects stay with their owner packages), pkgdoc
+# (every package documents its role), lpowner (shard-owned LP state stays
+# with its owning receiver), and — over the module call graph — servebound
+# (no engine call reachable from an HTTP handler), hotalloc (no allocation
+# site reachable from an event-dispatch root), staledirective (every
+# annotation still suppresses something). The run is timed: the whole
+# suite, call-graph construction included, must finish within 5 seconds so
+# linting stays cheap enough to gate every merge.
+lint_start=$(date +%s)
 go run ./cmd/simlint ./...
+lint_end=$(date +%s)
+lint_secs=$((lint_end - lint_start))
+echo "simlint: ${lint_secs}s"
+if [ "$lint_secs" -gt 5 ]; then
+	echo "simlint exceeded the 5s budget (${lint_secs}s): the suite must stay cheap enough to gate every merge" >&2
+	exit 1
+fi
+
+echo "== simlint suppressions =="
+# The //simlint: annotation inventory must be clean: every directive names
+# an analyzer in the suite and still suppresses at least one finding
+# (staledirective reports the same conditions as diagnostics; this step
+# prints the audited inventory for the log).
+go run ./cmd/simlint -suppressions ./...
 
 echo "== go test =="
 go test ./...

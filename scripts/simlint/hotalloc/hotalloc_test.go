@@ -1,0 +1,20 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/hotalloc"
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/hot", lintkit.ModulePath+"/internal/fixture")
+}
+
+// TestOutsideInternal loads the same hot-path shapes under a non-internal
+// import path: the allocation budgets gate internal/ only, so nothing is
+// reported.
+func TestOutsideInternal(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/cmdscope", lintkit.ModulePath+"/cmd/fixture")
+}

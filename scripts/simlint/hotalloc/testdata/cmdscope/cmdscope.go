@@ -1,0 +1,18 @@
+// Package fixture repeats a hot-path allocation under a cmd/ import
+// path: the budgets the analyzer backs gate internal/ only, so the CLI
+// layer is out of scope even when it schedules events.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func arm(e *sim.Engine, n int) {
+	e.ScheduleCall(0, step, &n)
+}
+
+func step(arg any) {
+	_ = fmt.Sprint(arg)
+}

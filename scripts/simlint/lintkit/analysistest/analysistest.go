@@ -41,6 +41,14 @@ type want struct {
 // diagnostics and the fixture's // want comments as test errors.
 func Run(t *testing.T, a *lintkit.Analyzer, dir, asPath string) {
 	t.Helper()
+	RunSuite(t, []*lintkit.Analyzer{a}, dir, asPath)
+}
+
+// RunSuite is Run for several analyzers applied together as one suite —
+// the shape staledirective needs, since a directive is only live relative
+// to the analyzers that could consume it.
+func RunSuite(t *testing.T, analyzers []*lintkit.Analyzer, dir, asPath string) {
+	t.Helper()
 	pkg, err := loadFixture(dir, asPath)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
@@ -49,10 +57,11 @@ func Run(t *testing.T, a *lintkit.Analyzer, dir, asPath string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := lintkit.RunAnalyzers([]*lintkit.Package{pkg}, []*lintkit.Analyzer{a})
+	res, err := lintkit.RunAnalyzers([]*lintkit.Package{pkg}, analyzers)
 	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+		t.Fatalf("running suite on %s: %v", dir, err)
 	}
+	ds := res.Diagnostics
 	matched := make([]bool, len(ds))
 	for _, w := range wants {
 		ok := false

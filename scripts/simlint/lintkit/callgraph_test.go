@@ -1,0 +1,105 @@
+package lintkit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadGraphFile type-checks one fixture file under asPath and builds its
+// call graph.
+func loadGraphFile(t *testing.T, asPath, file string) *CallGraph {
+	t.Helper()
+	pkg, err := LoadFiles(asPath, []string{filepath.Join("testdata", file)})
+	if err != nil {
+		t.Fatalf("loading %s: %v", file, err)
+	}
+	return buildCallGraph([]*Package{pkg})
+}
+
+func edgeTargets(n *FuncNode, kind EdgeKind) map[string]bool {
+	out := make(map[string]bool)
+	for _, e := range n.Out {
+		if e.Kind == kind {
+			out[e.To.Key] = true
+		}
+	}
+	return out
+}
+
+// TestCallGraphIfaceResolution pins conservative interface fan-out: a
+// call through an interface method lands on every named type whose value
+// or pointer method set satisfies it.
+func TestCallGraphIfaceResolution(t *testing.T) {
+	g := loadGraphFile(t, ModulePath+"/internal/fixture", "cgfix/cg.go")
+	inv := g.Lookup(ModulePath + "/internal/fixture.invoke")
+	if inv == nil {
+		t.Fatal("invoke node missing")
+	}
+	got := edgeTargets(inv, EdgeIface)
+	want := []string{
+		"(" + ModulePath + "/internal/fixture.valImpl).run",
+		"(*" + ModulePath + "/internal/fixture.ptrImpl).run",
+	}
+	for _, key := range want {
+		if !got[key] {
+			t.Errorf("invoke: missing iface edge to %s (got %v)", key, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("invoke: iface fan-out %v, want exactly %v", got, want)
+	}
+}
+
+// TestCallGraphDispatchRoots pins root marking: a named function handed
+// to Engine.ScheduleCall is a dispatch root; one merely referenced as a
+// plain function value (helper) is connected by a Ref edge but is not a
+// root, since func() is not a dispatcher shape.
+func TestCallGraphDispatchRoots(t *testing.T) {
+	g := loadGraphFile(t, ModulePath+"/internal/fixture", "cgfix/cg.go")
+	step := g.Lookup(ModulePath + "/internal/fixture.step")
+	if step == nil || !step.DispatchRoot {
+		t.Errorf("step must be a dispatch root (node %v)", step)
+	}
+	arm := g.Lookup(ModulePath + "/internal/fixture.arm")
+	if arm == nil {
+		t.Fatal("arm node missing")
+	}
+	if !edgeTargets(arm, EdgeStatic)["(*"+ModulePath+"/internal/sim.Engine).ScheduleCall"] {
+		t.Errorf("arm: missing static edge to Engine.ScheduleCall: %v", edgeTargets(arm, EdgeStatic))
+	}
+	hold := g.Lookup(ModulePath + "/internal/fixture.hold")
+	if hold == nil {
+		t.Fatal("hold node missing")
+	}
+	if !edgeTargets(hold, EdgeRef)[ModulePath+"/internal/fixture.helper"] {
+		t.Errorf("hold: missing ref edge to helper: %v", edgeTargets(hold, EdgeRef))
+	}
+	if helper := g.Lookup(ModulePath + "/internal/fixture.helper"); helper == nil || helper.DispatchRoot {
+		t.Errorf("helper must exist and must not be a dispatch root (node %v)", helper)
+	}
+}
+
+// TestCallGraphPoolTask pins the PoolTask edge kind on both submit
+// shapes: a literal task and a named function value.
+func TestCallGraphPoolTask(t *testing.T) {
+	g := loadGraphFile(t, ModulePath+"/internal/bench", "poolfix/pool.go")
+	enq := g.Lookup(ModulePath + "/internal/bench.enqueue")
+	if enq == nil {
+		t.Fatal("enqueue node missing")
+	}
+	var lit, named bool
+	for _, e := range enq.Out {
+		if e.Kind != EdgePoolTask {
+			continue
+		}
+		switch {
+		case e.To.Lit != nil:
+			lit = true
+		case e.To.Key == ModulePath+"/internal/bench.task":
+			named = true
+		}
+	}
+	if !lit || !named {
+		t.Errorf("enqueue: pooltask edges lit=%v named=%v, want both", lit, named)
+	}
+}

@@ -1,0 +1,145 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CLIOptions selects the output modes of RunCLI. Human-readable findings
+// always go to stderr; the machine-readable products (-json diagnostics,
+// -suppressions report) go to stdout so they can be redirected without
+// mixing streams.
+type CLIOptions struct {
+	// JSON writes the diagnostics as a JSON array to stdout
+	// (file/line/col/analyzer/message/suppression), for CI artifacts.
+	JSON bool
+	// Suppressions writes the live //simlint: directive inventory to
+	// stdout and fails if any entry is stale or unknown.
+	Suppressions bool
+	// GitHub additionally emits ::error workflow commands to stderr so
+	// GitHub Actions renders findings as inline file:line annotations.
+	GitHub bool
+}
+
+// jsonDiagnostic is the -json wire form of one finding.
+type jsonDiagnostic struct {
+	File        string `json:"file"`
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Analyzer    string `json:"analyzer"`
+	Message     string `json:"message"`
+	Suppression string `json:"suppression,omitempty"`
+}
+
+// RunCLI loads the patterns, applies the suite, and prints findings
+// according to opts. It returns the process exit code: 0 clean, 1
+// findings (or stale suppressions under -suppressions), 2 load failure.
+// It is the engine behind cmd/simlint.
+func RunCLI(analyzers []*Analyzer, patterns []string, opts CLIOptions, stdout, stderr io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	res, err := RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "simlint: %v\n", err)
+		return 2
+	}
+	wd, _ := os.Getwd()
+
+	if opts.Suppressions {
+		return reportSuppressions(res, analyzers, wd, stdout)
+	}
+
+	for _, d := range res.Diagnostics {
+		name := relPath(wd, d.Pos.Filename)
+		fmt.Fprintf(stderr, "%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		if opts.GitHub {
+			// GitHub Actions workflow command: rendered as an inline
+			// file:line annotation on the PR diff.
+			fmt.Fprintf(stderr, "::error file=%s,line=%d,col=%d,title=simlint/%s::%s\n",
+				name, d.Pos.Line, d.Pos.Column, d.Analyzer, ghEscape(d.Message))
+		}
+	}
+	if opts.JSON {
+		out := make([]jsonDiagnostic, 0, len(res.Diagnostics))
+		for _, d := range res.Diagnostics {
+			out = append(out, jsonDiagnostic{
+				File:        relPath(wd, d.Pos.Filename),
+				Line:        d.Pos.Line,
+				Col:         d.Pos.Column,
+				Analyzer:    d.Analyzer,
+				Message:     d.Message,
+				Suppression: d.Suppression,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "simlint: encoding -json output: %v\n", err)
+			return 2
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// reportSuppressions prints every live //simlint: directive with its
+// reason and usage count. Entries that suppressed nothing (STALE) or
+// whose name no analyzer in the suite owns (UNKNOWN) fail the run —
+// check.sh asserts this stays clean.
+func reportSuppressions(res *Result, analyzers []*Analyzer, wd string, stdout io.Writer) int {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		for _, name := range a.Directives {
+			known[name] = true
+		}
+	}
+	bad := 0
+	for _, d := range res.Directives {
+		status := "ok"
+		switch {
+		case !known[d.Name]:
+			status, bad = "UNKNOWN", bad+1
+		case d.Uses == 0:
+			status, bad = "STALE", bad+1
+		}
+		fmt.Fprintf(stdout, "%s:%d: //simlint:%s (%s, uses=%d) %s\n",
+			relPath(wd, d.Pos.Filename), d.Pos.Line, d.Name, status, d.Uses, d.Reason)
+	}
+	fmt.Fprintf(stdout, "%d suppressions, %d stale/unknown\n", len(res.Directives), bad)
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens name relative to wd when that stays inside it;
+// escaping paths print absolute for clickability.
+func relPath(wd, name string) string {
+	if wd == "" {
+		return name
+	}
+	rel, err := filepath.Rel(wd, name)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return name
+	}
+	return rel
+}
+
+// ghEscape encodes a message for a workflow-command data field.
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
+}

@@ -35,6 +35,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 }
@@ -46,7 +47,7 @@ type listedPackage struct {
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly",
 		"--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -82,6 +83,25 @@ func exportImporter(fset *token.FileSet, exports map[string]string) types.Import
 		}
 		return os.Open(file)
 	})
+}
+
+// moduleImporter resolves module-internal imports to the packages already
+// type-checked from source in this load, and everything else (the standard
+// library) through export data. Checking the whole module in one type
+// universe is what makes the call-graph layer sound: a *types.Func seen
+// from its defining package and from an importing package is the same
+// object, so cross-package call edges and interface satisfaction checks
+// need no name-based reconciliation.
+type moduleImporter struct {
+	source   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.source[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
 }
 
 // newInfo allocates the types.Info maps analyzers consult.
@@ -122,42 +142,77 @@ func typeCheck(fset *token.FileSet, path string, filenames []string, imp types.I
 // patterns (their test files are not loaded: the contracts the suite
 // enforces govern simulation code, and several — wall clocks in
 // benchmarks, unsorted map walks in assertions — are legitimate in tests).
-// Standard-library dependencies are consumed as export data only.
-// Packages are returned sorted by import path.
+// Every module package — matched or pulled in as a dependency — is checked
+// from source, in dependency order, so the whole module shares one type
+// universe; standard-library dependencies are consumed as export data
+// only. The returned slice holds the matched packages sorted by import
+// path.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	exports := make(map[string]string)
-	var targets []listedPackage
+	module := make(map[string]listedPackage)
 	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.Standard && !p.DepOnly {
-			targets = append(targets, p)
+		if !p.Standard {
+			module[p.ImportPath] = p
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
-	imp := exportImporter(fset, exports)
-	var pkgs []*Package
-	for _, t := range targets {
-		if len(t.GoFiles) == 0 {
-			continue
+	imp := &moduleImporter{
+		source:   make(map[string]*types.Package),
+		fallback: exportImporter(fset, exports),
+	}
+
+	checked := make(map[string]*Package)
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, inModule := module[path]
+		if !inModule || checked[p.ImportPath] != nil || len(p.GoFiles) == 0 {
+			return nil
 		}
-		filenames := make([]string, len(t.GoFiles))
-		for i, name := range t.GoFiles {
-			filenames[i] = filepath.Join(t.Dir, name)
+		checked[p.ImportPath] = &Package{} // cycle guard; go list rejects real cycles
+		for _, dep := range p.Imports {
+			if err := visit(dep); err != nil {
+				return err
+			}
 		}
-		pkg, _, err := typeCheck(fset, t.ImportPath, filenames, imp)
+		filenames := make([]string, len(p.GoFiles))
+		for i, name := range p.GoFiles {
+			filenames[i] = filepath.Join(p.Dir, name)
+		}
+		pkg, _, err := typeCheck(fset, p.ImportPath, filenames, imp)
 		if err != nil {
-			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+			return fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 		}
-		pkg.Dir = t.Dir
-		pkgs = append(pkgs, pkg)
+		pkg.Dir = p.Dir
+		checked[p.ImportPath] = pkg
+		imp.source[p.ImportPath] = pkg.Types
+		return nil
+	}
+	paths := make([]string, 0, len(module))
+	for path := range module {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, path := range paths {
+		if p := module[path]; !p.DepOnly {
+			if pkg := checked[path]; pkg != nil && pkg.Types != nil {
+				pkgs = append(pkgs, pkg)
+			}
+		}
 	}
 	return pkgs, nil
 }
@@ -233,44 +288,4 @@ func moduleRoot() (string, error) {
 		return "", fmt.Errorf("not inside a module (GOMOD=%q)", gomod)
 	}
 	return filepath.Dir(gomod), nil
-}
-
-// Run loads the patterns, applies the analyzers, prints findings to w
-// (file:line:col: message (analyzer)), and returns the process exit code:
-// 0 clean, 1 findings, 2 load failure. It is the shared engine behind
-// cmd/simlint and the scripts/pkgdoclint shim.
-func Run(analyzers []*Analyzer, patterns []string, w io.Writer) int {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	pkgs, err := Load(".", patterns)
-	if err != nil {
-		fmt.Fprintf(w, "simlint: %v\n", err)
-		return 2
-	}
-	ds, err := RunAnalyzers(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintf(w, "simlint: %v\n", err)
-		return 2
-	}
-	wd, _ := os.Getwd()
-	for _, d := range ds {
-		name := d.Pos.Filename
-		if wd != "" {
-			if rel, err := filepath.Rel(wd, name); err == nil && !isParentPath(rel) {
-				name = rel
-			}
-		}
-		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
-	}
-	if len(ds) > 0 {
-		return 1
-	}
-	return 0
-}
-
-// isParentPath reports whether a relative path escapes the current
-// directory; such paths are printed absolute for clickability.
-func isParentPath(rel string) bool {
-	return rel == ".." || len(rel) > 2 && rel[:3] == ".."+string(filepath.Separator)
 }

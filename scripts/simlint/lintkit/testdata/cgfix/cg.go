@@ -1,0 +1,32 @@
+// Package fixture pins call-graph construction: interface calls resolve
+// to both value- and pointer-receiver implementations, ScheduleCall
+// arguments become dispatch roots, and bare function references produce
+// Ref edges without making their targets roots.
+package fixture
+
+import "repro/internal/sim"
+
+type runner interface{ run() }
+
+type valImpl struct{}
+
+func (valImpl) run() {}
+
+type ptrImpl struct{ n int }
+
+func (p *ptrImpl) run() { p.n++ }
+
+func invoke(r runner) { r.run() }
+
+func arm(e *sim.Engine, w *ptrImpl) {
+	e.ScheduleCall(0, step, w)
+}
+
+func step(arg any) {}
+
+func hold() {
+	f := helper
+	_ = f
+}
+
+func helper() {}

@@ -1,0 +1,17 @@
+// Package bench mirrors the real pool's unexported submit so the
+// PoolTask edge kind — the sanctioned serving-layer handoff — can be
+// pinned without exporting anything from the real package.
+package bench
+
+type Env struct{}
+
+type Pool struct{}
+
+func (p *Pool) submit(fn func(*Env)) { _ = fn }
+
+func enqueue(p *Pool) {
+	p.submit(func(e *Env) {})
+	p.submit(task)
+}
+
+func task(e *Env) {}

@@ -1,0 +1,33 @@
+package lpowner_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/lpowner"
+)
+
+// TestOwnerFixture checks rule A with the fixture type-checked as the
+// netsim package itself.
+func TestOwnerFixture(t *testing.T) {
+	analysistest.Run(t, lpowner.Analyzer, "testdata/owner", lintkit.ModulePath+"/internal/netsim")
+}
+
+// TestClientFixture checks rule B in a module package that builds LP
+// clusters.
+func TestClientFixture(t *testing.T) {
+	analysistest.Run(t, lpowner.Analyzer, "testdata/client", lintkit.ModulePath+"/internal/fixture")
+}
+
+// TestSerialClient pins the rule-B trigger: the same registrations are
+// legal in a package that only builds serial clusters.
+func TestSerialClient(t *testing.T) {
+	analysistest.Run(t, lpowner.Analyzer, "testdata/serial", lintkit.ModulePath+"/internal/fixture")
+}
+
+// TestOutsideScope pins rule A's type matching: a look-alike Cluster
+// under a non-netsim import path is out of scope.
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, lpowner.Analyzer, "testdata/scope", lintkit.ModulePath+"/internal/fixture")
+}

@@ -1,0 +1,42 @@
+// Package netsim exercises lpowner rule A as the transport package
+// itself: a Cluster method reaching into another cluster's shard-owned
+// fields (violations), access through the method's own receiver
+// (allowed), the sanctioned barrier sites under //simlint:lpowner-ok,
+// and cross-cluster access to fields outside the shard-owned set.
+package netsim
+
+type Cluster struct {
+	MessagesSent uint64
+	outbox       []int
+	peers        []*Cluster
+	shards       []*Cluster
+}
+
+// fold is the violation shape: the root reads counters its shards own.
+func (c *Cluster) fold() {
+	for _, s := range c.shards {
+		c.MessagesSent += s.MessagesSent // want `Cluster\.MessagesSent accessed through a cluster other than the method receiver`
+	}
+}
+
+// drainOwn touches only receiver-owned state: allowed.
+func (c *Cluster) drainOwn() {
+	c.outbox = c.outbox[:0]
+}
+
+// barrier is the sanctioned window-barrier drain, annotated.
+func (c *Cluster) barrier() {
+	for _, s := range c.shards {
+		c.outbox = append(c.outbox, s.outbox...) //simlint:lpowner-ok fixture: window barrier drain with shards quiescent
+	}
+}
+
+// topology reads a field outside the shard-owned set: structure is
+// shared, only the pooled mutable state is per-shard.
+func (c *Cluster) topology() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.peers)
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+// Package fixture defines its own Cluster with the shard-owned field
+// names: rule A matches the netsim Cluster by name *and* package path,
+// so an unrelated type under another import path is out of scope.
+package fixture
+
+type Cluster struct {
+	MessagesSent uint64
+	outbox       []int
+	shards       []*Cluster
+}
+
+func (c *Cluster) fold() {
+	for _, s := range c.shards {
+		c.MessagesSent += s.MessagesSent
+		c.outbox = append(c.outbox, s.outbox...)
+	}
+}

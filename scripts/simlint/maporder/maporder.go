@@ -19,9 +19,10 @@ import (
 
 // Analyzer flags unordered map iteration without a stated justification.
 var Analyzer = &lintkit.Analyzer{
-	Name: "maporder",
-	Doc:  "flag range over maps unless sorted after collection or annotated order-insensitive",
-	Run:  run,
+	Name:       "maporder",
+	Doc:        "flag range over maps unless sorted after collection or annotated order-insensitive",
+	Directives: []string{"unordered-ok"},
+	Run:        run,
 }
 
 // sortCalls lists the sort entry points recognized as establishing an

@@ -18,9 +18,10 @@ import (
 
 // Analyzer flags wall-clock and global-PRNG uses lacking an annotation.
 var Analyzer = &lintkit.Analyzer{
-	Name: "nowallclock",
-	Doc:  "forbid time.Now/time.Since and global math/rand in simulation code",
-	Run:  run,
+	Name:       "nowallclock",
+	Doc:        "forbid time.Now/time.Since and global math/rand in simulation code",
+	Directives: []string{"wallclock-ok"},
+	Run:        run,
 }
 
 // wallFuncs are the package time functions that read or depend on the

@@ -1,0 +1,20 @@
+package servebound_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/servebound"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, servebound.Analyzer, "testdata/serve", lintkit.ModulePath+"/internal/serve")
+}
+
+// TestOutsideScope loads handler-shaped engine calls under a non-serve
+// import path: the analyzer roots only in internal/serve, so the fixture
+// must produce no diagnostics.
+func TestOutsideScope(t *testing.T) {
+	analysistest.Run(t, servebound.Analyzer, "testdata/outside", lintkit.ModulePath+"/internal/fixture")
+}

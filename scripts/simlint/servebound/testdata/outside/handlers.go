@@ -1,0 +1,15 @@
+// Package fixture holds handler-shaped code outside internal/serve: the
+// servebound contract binds the serving package only, so nothing here is
+// a root and the engine calls go unflagged.
+package fixture
+
+import (
+	"net/http"
+
+	"repro/internal/sim"
+)
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	eng := sim.NewEngine()
+	eng.Run()
+}

@@ -1,0 +1,65 @@
+// Package serve exercises the servebound analyzer as the real serving
+// package: engine calls reachable from HTTP handlers (violations, both
+// direct and through helper chains and handler literals), pure data
+// helpers from the engine packages (allowed), reviewed exceptions under
+// //simlint:servebound-ok, and registry-style function references, which
+// reachability deliberately does not follow.
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// handleRun violates the contract directly and through a helper chain.
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	eng := sim.NewEngine() // want `call to repro/internal/sim\.NewEngine is reachable from HTTP handler`
+	_ = eng
+	simulate()
+}
+
+// simulate is not a handler itself, but handleRun reaches it, so its
+// engine calls are flagged with the handler named in the diagnostic.
+func simulate() {
+	eng := sim.NewEngine() // want `call to repro/internal/sim\.NewEngine is reachable from HTTP handler`
+	eng.Run()              // want `call to \(\*repro/internal/sim\.Engine\)\.Run is reachable from HTTP handler`
+}
+
+// register installs a literal handler; literals with the handler
+// signature are roots too.
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		c, err := netsim.NewCluster(8, netsim.Params{}) // want `call to repro/internal/netsim\.NewCluster is reachable from HTTP handler`
+		_, _ = c, err
+	})
+}
+
+// handleParse stays on the sanctioned side: parsing and validation are
+// pure data helpers, not simulation.
+func handleParse(w http.ResponseWriter, r *http.Request) {
+	im, err := netsim.ParseImpairment(r.URL.Query().Get("impair"))
+	if err != nil || im == nil {
+		return
+	}
+	_ = im.Key()
+	var fs netsim.FaultStats
+	fs.Add(netsim.FaultStats{})
+}
+
+// handleWarm carries a reviewed exception.
+func handleWarm(w http.ResponseWriter, r *http.Request) {
+	eng := sim.NewEngine() //simlint:servebound-ok fixture: stands in for a reviewed startup probe
+	_ = eng
+}
+
+// handleRegistry only references buildEngine as a value: a registry
+// holding constructors does not run them on the request goroutine, so
+// buildEngine's body stays unreached.
+func handleRegistry(w http.ResponseWriter, r *http.Request) {
+	build := buildEngine
+	_ = build
+}
+
+func buildEngine() *sim.Engine { return sim.NewEngine() }

@@ -1,30 +1,44 @@
-// Package simlint assembles the repository's analyzer suite: six
+// Package simlint assembles the repository's analyzer suite: ten
 // lintkit analyzers, each enforcing one normative clause of
 // ARCHITECTURE.md mechanically instead of by prose and post-hoc golden
-// diffs. cmd/simlint runs the whole suite (`go run ./cmd/simlint ./...`,
-// wired into make lint, scripts/check.sh, and CI); the repo-wide smoke
-// test in this package keeps `go test ./...` failing on any new
-// violation even when the lint step itself is skipped.
+// diffs — six per-package checks plus the call-graph analyzers
+// (servebound, hotalloc), the LP shard-ownership check (lpowner), and
+// the suppression-inventory audit (staledirective). cmd/simlint runs the
+// whole suite (`go run ./cmd/simlint ./...`, wired into make lint,
+// scripts/check.sh, and CI); the repo-wide smoke test in this package
+// keeps `go test ./...` failing on any new violation even when the lint
+// step itself is skipped.
 package simlint
 
 import (
+	"repro/scripts/simlint/hotalloc"
 	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lpowner"
 	"repro/scripts/simlint/maporder"
 	"repro/scripts/simlint/noclosuresched"
 	"repro/scripts/simlint/nosyncpool"
 	"repro/scripts/simlint/nowallclock"
 	"repro/scripts/simlint/pkgdoc"
 	"repro/scripts/simlint/poolretain"
+	"repro/scripts/simlint/servebound"
+	"repro/scripts/simlint/staledirective"
 )
 
-// Analyzers returns the full suite, in reporting-name order.
+// Analyzers returns the full suite. Per-package analyzers come first in
+// reporting-name order; module analyzers follow, with staledirective
+// last — it audits the directive usage the rest of the run records, so
+// suite order is load-bearing for it.
 func Analyzers() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
+		lpowner.Analyzer,
 		maporder.Analyzer,
 		noclosuresched.Analyzer,
 		nosyncpool.Analyzer,
 		nowallclock.Analyzer,
 		pkgdoc.Analyzer,
 		poolretain.Analyzer,
+		hotalloc.Analyzer,
+		servebound.Analyzer,
+		staledirective.Analyzer,
 	}
 }

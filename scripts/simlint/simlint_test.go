@@ -9,9 +9,9 @@ import (
 	"repro/scripts/simlint/lintkit"
 )
 
-// TestRepoLintClean asserts that every package in the module passes all
-// six analyzers, so introducing a violation fails go test ./... as well
-// as the explicit simlint steps in check.sh and CI.
+// TestRepoLintClean asserts that every package in the module passes the
+// full analyzer suite, so introducing a violation fails go test ./... as
+// well as the explicit simlint steps in check.sh and CI.
 func TestRepoLintClean(t *testing.T) {
 	_, thisFile, _, ok := runtime.Caller(0)
 	if !ok {
@@ -25,11 +25,11 @@ func TestRepoLintClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("no packages loaded")
 	}
-	diags, err := lintkit.RunAnalyzers(pkgs, simlint.Analyzers())
+	res, err := lintkit.RunAnalyzers(pkgs, simlint.Analyzers())
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		t.Errorf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
 	}
 }

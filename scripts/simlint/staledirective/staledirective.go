@@ -1,0 +1,48 @@
+// Package staledirective keeps the suppression inventory honest: a
+// //simlint: annotation is a reviewed exception to a contract, and an
+// exception that no longer excepts anything is misinformation. After the
+// rest of the suite has run (module analyzers execute in suite order,
+// this one last), every directive that suppressed no diagnostic — or
+// whose name no analyzer in the suite owns, e.g. a typo like
+// //simlint:walclock-ok — is itself reported at the directive's line.
+//
+// Staleness is judged against the loaded package set: a directive
+// suppressing a call-graph finding (alloc-ok, servebound-ok) is only
+// exercised when the dispatch roots reaching its site are loaded too, so
+// run the full module (./...) before deleting anything this analyzer
+// reports from a partial run.
+package staledirective
+
+import (
+	"strings"
+
+	"repro/scripts/simlint/lintkit"
+)
+
+// Analyzer reports //simlint: directives that suppress nothing.
+var Analyzer = &lintkit.Analyzer{
+	Name:      "staledirective",
+	Doc:       "report //simlint: directives that no longer suppress any diagnostic",
+	RunModule: run,
+}
+
+func run(mp *lintkit.ModulePass) error {
+	for _, d := range mp.Directives() {
+		switch {
+		case !mp.Known(d.Name):
+			mp.ReportAt(d.Pos, "unknown directive //simlint:%s: no analyzer in this suite consumes it (known: %s)", d.Name, knownList(mp))
+		case d.Uses == 0:
+			mp.ReportAt(d.Pos, "stale directive //simlint:%s: it no longer suppresses any diagnostic; delete it", d.Name)
+		}
+	}
+	return nil
+}
+
+// knownList names the suite's directives for the unknown-name message.
+func knownList(mp *lintkit.ModulePass) string {
+	names := mp.KnownNames()
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,19 @@
+package staledirective_test
+
+import (
+	"testing"
+
+	"repro/scripts/simlint/lintkit"
+	"repro/scripts/simlint/lintkit/analysistest"
+	"repro/scripts/simlint/nowallclock"
+	"repro/scripts/simlint/staledirective"
+)
+
+// TestFixture runs staledirective behind a live analyzer, the shape it
+// has in the real suite: a directive is stale or live only relative to
+// the analyzers that could consume it.
+func TestFixture(t *testing.T) {
+	analysistest.RunSuite(t,
+		[]*lintkit.Analyzer{nowallclock.Analyzer, staledirective.Analyzer},
+		"testdata/pkg", lintkit.ModulePath+"/internal/fixture")
+}

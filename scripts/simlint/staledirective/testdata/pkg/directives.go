@@ -1,0 +1,26 @@
+// Package fixture exercises staledirective against a live suite
+// (nowallclock + staledirective): a directive that suppresses a real
+// finding is kept, one that suppresses nothing is stale, and a name no
+// analyzer in the suite owns is unknown.
+package fixture
+
+import "time"
+
+// measured carries a live annotation: nowallclock consumes it, so the
+// directive records one use and stays.
+func measured() time.Time {
+	return time.Now() //simlint:wallclock-ok fixture: stands in for a -wall measurement site
+}
+
+// clean has nothing to suppress, so its directive is misinformation.
+func clean() int {
+	//simlint:wallclock-ok fixture: stale, nothing below reads the clock // want `stale directive //simlint:wallclock-ok`
+	return 1
+}
+
+// typo misspells the directive name: the annotation is unknown to the
+// suite and the underlying finding is still reported.
+func typo() time.Time {
+	//simlint:walclock-ok fixture: misspelled, suppresses nothing // want `unknown directive //simlint:walclock-ok`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
